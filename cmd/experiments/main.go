@@ -1,0 +1,82 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Examples:
+//
+//	experiments -exp fig15          # the headline scheduler comparison
+//	experiments -exp all -quick     # everything, at smoke-test scale
+//	experiments -exp fig16          # live scaling-overhead measurement
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: fig2|fig3|fig6|fig13|fig14|fig15|fig16|fig17|fig18|table2|table3|table4|all")
+		quick = flag.Bool("quick", false, "shrink traces and populations for a fast pass")
+		seed  = flag.Int64("seed", 1, "RNG seed")
+		jobs  = flag.Int("jobs", 0, "override trace length")
+		pop   = flag.Int("pop", 0, "override ONES population size")
+	)
+	flag.Parse()
+
+	opt := core.DefaultOptions()
+	if *quick {
+		opt = core.QuickOptions()
+	}
+	opt.Seed = *seed
+	if *jobs > 0 {
+		opt.Jobs = *jobs
+	}
+	if *pop > 0 {
+		opt.Population = *pop
+	}
+	suite := core.NewSuite(opt)
+
+	type experiment struct {
+		name string
+		run  func() (string, error)
+	}
+	registry := []experiment{
+		{"fig2", func() (string, error) { return suite.Fig2(), nil }},
+		{"fig3", func() (string, error) { return suite.Fig3(), nil }},
+		{"fig6", suite.Fig6},
+		{"table2", func() (string, error) { return suite.Table2(), nil }},
+		{"table3", func() (string, error) { return suite.Table3(), nil }},
+		{"fig13", suite.Fig13},
+		{"fig14", suite.Fig14},
+		{"fig15", suite.Fig15},
+		{"table4", suite.Table4},
+		{"fig16", func() (string, error) {
+			_, out, err := suite.Fig16()
+			return out, err
+		}},
+		{"fig17", suite.Fig17},
+		{"fig18", suite.Fig18},
+	}
+
+	want := strings.ToLower(*exp)
+	found := false
+	for _, e := range registry {
+		if want != "all" && want != e.name {
+			continue
+		}
+		found = true
+		out, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

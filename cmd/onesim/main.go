@@ -1,0 +1,76 @@
+// Command onesim runs one scheduling simulation: a generated Table 2
+// workload trace replayed on a simulated GPU cluster under a chosen
+// scheduler, reporting per-run and per-job completion statistics.
+//
+// Examples:
+//
+//	onesim -sched ones
+//	onesim -sched tiresias -gpus 32 -jobs 60 -interarrival 20
+//	onesim -sched ones -pop 16 -verbose
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		sched        = flag.String("sched", "ones", "scheduler: ones|drl|tiresias|optimus|fifo|sjf")
+		gpus         = flag.Int("gpus", 64, "cluster capacity in GPUs (4 per server)")
+		jobs         = flag.Int("jobs", 120, "number of jobs in the trace")
+		interarrival = flag.Float64("interarrival", 12, "mean seconds between arrivals")
+		seed         = flag.Int64("seed", 1, "trace and scheduler RNG seed")
+		pop          = flag.Int("pop", 32, "ONES population size K")
+		verbose      = flag.Bool("verbose", false, "print per-job metrics")
+		events       = flag.Bool("events", false, "print the scheduling event log")
+	)
+	flag.Parse()
+
+	cfg := core.RunConfig{
+		Scheduler: core.SchedulerKind(*sched),
+		Topo:      cluster.Topology{Servers: (*gpus + 3) / 4, GPUsPerServer: 4},
+		Trace: workload.Config{
+			Seed:             *seed,
+			NumJobs:          *jobs,
+			MeanInterarrival: *interarrival,
+			MaxReqGPUs:       8,
+		},
+		Seed:       *seed,
+		Population: *pop,
+	}
+	res, err := core.RunWithEvents(cfg, *events)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "onesim:", err)
+		os.Exit(1)
+	}
+	sum := metrics.Summarize(res)
+	fmt.Printf("scheduler   %s\n", sum.Scheduler)
+	fmt.Printf("jobs        %d (unfinished: %d)\n", sum.Jobs, res.Unfinished)
+	fmt.Printf("makespan    %.1f s\n", sum.Makespan)
+	fmt.Printf("avg JCT     %.2f s   (median %.1f, p75 %.1f, max %.1f)\n",
+		sum.MeanJCT, sum.JCTBox.Median, sum.JCTBox.Q3, sum.JCTBox.Max)
+	fmt.Printf("avg exec    %.2f s\n", sum.MeanExec)
+	fmt.Printf("avg queue   %.2f s\n", sum.MeanQueue)
+	fmt.Printf("reconfigs   %d\n", sum.Reconfigs)
+	fmt.Printf("utilization %.1f%%\n", 100*res.Utilization())
+	if *verbose {
+		fmt.Printf("\n%6s %-26s %10s %10s %10s %10s\n", "job", "task", "submit", "jct", "exec", "queue")
+		for _, j := range res.Jobs {
+			fmt.Printf("%6d %-26s %10.1f %10.1f %10.1f %10.1f\n",
+				j.ID, j.Name, j.Submit, j.JCT, j.Exec, j.Queue)
+		}
+	}
+	if *events {
+		fmt.Printf("\n%10s %-9s %6s %6s %8s\n", "time", "event", "job", "gpus", "batch")
+		for _, ev := range res.Events {
+			fmt.Printf("%10.1f %-9s %6d %6d %8d\n", ev.Time, ev.Kind, ev.Job, ev.GPUs, ev.Batch)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Command tracegen generates, summarizes and validates workload traces
+// (the Table 2 job mix with Poisson arrivals).
+//
+// Examples:
+//
+//	tracegen -jobs 120 -o trace.json
+//	tracegen -in trace.json -summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		jobs         = flag.Int("jobs", 120, "number of jobs to generate")
+		interarrival = flag.Float64("interarrival", 12, "mean seconds between arrivals")
+		seed         = flag.Int64("seed", 1, "RNG seed")
+		maxGPUs      = flag.Int("max-gpus", 8, "largest user GPU request")
+		out          = flag.String("o", "", "write the trace as JSON to this file (default: stdout)")
+		in           = flag.String("in", "", "read an existing trace instead of generating")
+		summary      = flag.Bool("summary", false, "print composition summary instead of JSON")
+	)
+	flag.Parse()
+
+	var trace *workload.Trace
+	if *in != "" {
+		data, err := os.ReadFile(*in)
+		if err != nil {
+			fatal(err)
+		}
+		trace, err = workload.Decode(data)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		var err error
+		trace, err = workload.Generate(workload.Config{
+			Seed:             *seed,
+			NumJobs:          *jobs,
+			MeanInterarrival: *interarrival,
+			MaxReqGPUs:       *maxGPUs,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if err := trace.Validate(); err != nil {
+		fatal(err)
+	}
+
+	if *summary {
+		s := trace.Summarize()
+		fmt.Printf("jobs            %d\n", s.Jobs)
+		fmt.Printf("makespan        %.1f s (last submission)\n", s.Makespan)
+		fmt.Printf("mean GPU req    %.2f\n", s.MeanGPUReq)
+		fmt.Println("by class:")
+		for class, n := range s.ByClass {
+			fmt.Printf("  %-14s %d\n", class, n)
+		}
+		fmt.Println("by model:")
+		for model, n := range s.ByModel {
+			fmt.Printf("  %-14s %d\n", model, n)
+		}
+		return
+	}
+
+	data, err := trace.Encode()
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		fmt.Println(string(data))
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d jobs to %s\n", len(trace.Jobs), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

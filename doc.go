@@ -1,0 +1,24 @@
+// Package repro is a from-scratch Go reproduction of "Online Evolutionary
+// Batch Size Orchestration for Scheduling Deep Learning Workloads in GPU
+// Clusters" (ONES, SC '21).
+//
+// The paper's scheduler — an online evolutionary search over per-GPU
+// batch-size genomes, steered by a Beta-regression progress predictor and
+// executed through checkpoint-free elastic batch scaling — lives under
+// internal/, together with every substrate it needs: a schedule-genome
+// cluster model, an analytic DL performance model, a Table 2 workload
+// generator, a discrete-event cluster simulator, the DRL/Tiresias/Optimus
+// baselines, a live goroutine mini-cluster with a real ring all-reduce,
+// and the statistics of the paper's evaluation.
+//
+// Entry points:
+//
+//	cmd/onesim       — run one simulation
+//	cmd/tracegen     — generate workload traces
+//	cmd/experiments  — regenerate every table and figure
+//	examples/        — runnable API walkthroughs
+//
+// The benchmarks in bench_test.go regenerate each experiment through the
+// testing harness; see DESIGN.md for the experiment-to-module index and
+// EXPERIMENTS.md for measured-vs-paper results.
+package repro

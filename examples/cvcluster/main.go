@@ -1,0 +1,49 @@
+// cvcluster replays a 64-GPU production-style trace (the paper's Table 2
+// mix, dominated by CV training jobs) under ONES and all three baseline
+// schedulers, and prints the Figure 15-style report: average JCT /
+// execution / queuing time, distributions, and the fraction of jobs done
+// within 200 seconds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func main() {
+	cfg := core.RunConfig{
+		Scheduler: core.KindONES,
+		Trace: workload.Config{
+			Seed:             11,
+			NumJobs:          60,
+			MeanInterarrival: 12,
+			MaxReqGPUs:       8,
+		},
+		Seed:       11,
+		Population: 16,
+	}
+	fmt.Println("running ONES, DRL, Tiresias and Optimus on the same 60-job trace…")
+	results, err := core.Compare(cfg, core.PaperBaselines())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sums := make([]metrics.Summary, len(results))
+	for i, r := range results {
+		sums[i] = metrics.Summarize(r)
+	}
+	metrics.SortSummaries(sums)
+	fmt.Println()
+	fmt.Print(metrics.ComparisonTable(sums))
+	fmt.Println()
+	fmt.Print(metrics.BoxTable(results, metrics.JCT))
+	fmt.Println()
+	for _, r := range results {
+		fmt.Printf("jobs completed within 200 s (%s): %.0f%%\n",
+			r.Scheduler, 100*metrics.FractionWithin(r, metrics.JCT, 200))
+	}
+}

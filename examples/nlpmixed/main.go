@@ -1,0 +1,37 @@
+// nlpmixed studies scheduling scalability on a mixed CV+NLP trace: the
+// same job stream replayed on clusters of 16 and 64 GPUs (the Figure 17/18
+// sweep, condensed). It shows how ONES's advantage over the baselines
+// widens with more free capacity to orchestrate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	opt := core.QuickOptions()
+	opt.Seed = 5
+	opt.Jobs = 40
+	opt.Population = 12
+	opt.Capacities = []int{16, 64}
+	suite := core.NewSuite(opt)
+
+	fmt.Println("sweeping cluster capacity over the same 40-job CV+NLP trace…")
+	out17, err := suite.Fig17()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(out17)
+
+	out18, err := suite.Fig18()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(out18)
+	fmt.Println("\n(values > 1.00 are the factor by which the baseline's mean JCT exceeds ONES's)")
+}

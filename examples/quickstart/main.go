@@ -1,0 +1,39 @@
+// Quickstart: submit a small stream of deep-learning jobs to a simulated
+// 16-GPU cluster scheduled by ONES and print what happened to each job.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	cfg := core.RunConfig{
+		Scheduler: core.KindONES,
+		Topo:      cluster.Topology{Servers: 4, GPUsPerServer: 4},
+		Trace: workload.Config{
+			Seed:             7,
+			NumJobs:          12,
+			MeanInterarrival: 30,
+			MaxReqGPUs:       4,
+		},
+		Seed:       7,
+		Population: 8,
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("ONES on a 16-GPU cluster, 12 jobs:")
+	fmt.Printf("%4s %-26s %9s %9s %9s\n", "job", "task", "jct(s)", "exec(s)", "queue(s)")
+	for _, j := range res.Jobs {
+		fmt.Printf("%4d %-26s %9.1f %9.1f %9.1f\n", j.ID, j.Name, j.JCT, j.Exec, j.Queue)
+	}
+	fmt.Printf("\naverage JCT %.1f s, average queue %.1f s, %d reconfigurations\n",
+		res.MeanJCT(), res.MeanQueue(), res.Reconfigs)
+}

@@ -1,0 +1,342 @@
+// Package cluster models the shared GPU cluster and the schedule genome at
+// the heart of ONES.
+//
+// Following the paper's Equation (1), a schedule is a mapping
+//
+//	S : J × C → {b_j^i}
+//
+// that assigns every GPU i a job j and a per-GPU (local) batch size b_j^i.
+// Equation (2) derives the global batch size B_j = Σ_i b_j^i and the GPU
+// count c_j = Σ_i min(1, b_j^i), and Equation (4) enforces that at most one
+// job runs per GPU (no GPU sharing due to interference).
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// JobID identifies a job. NoJob marks an idle GPU.
+type JobID int
+
+// NoJob is the JobID of an unassigned GPU slot.
+const NoJob JobID = -1
+
+// GPUID indexes a GPU within a cluster topology, in [0, TotalGPUs).
+type GPUID int
+
+// Topology describes the physical shape of the cluster: a number of
+// identical multi-GPU servers. The paper's testbed is 16 servers with
+// 4 V100 GPUs each (64 GPUs total).
+type Topology struct {
+	Servers       int // number of GPU servers
+	GPUsPerServer int // GPUs on each server
+}
+
+// Longhorn returns the paper's evaluation topology: 16 servers × 4 GPUs.
+func Longhorn() Topology { return Topology{Servers: 16, GPUsPerServer: 4} }
+
+// TotalGPUs returns the number of GPUs in the cluster.
+func (t Topology) TotalGPUs() int { return t.Servers * t.GPUsPerServer }
+
+// ServerOf returns the server index hosting GPU g.
+func (t Topology) ServerOf(g GPUID) int { return int(g) / t.GPUsPerServer }
+
+// Validate reports whether the topology is well formed.
+func (t Topology) Validate() error {
+	if t.Servers <= 0 || t.GPUsPerServer <= 0 {
+		return fmt.Errorf("cluster: invalid topology %+v", t)
+	}
+	return nil
+}
+
+// Slot is one gene of the schedule genome: the job occupying a GPU and the
+// local batch size it runs there. An idle GPU has Job == NoJob and Batch 0.
+type Slot struct {
+	Job   JobID
+	Batch int
+}
+
+// Idle reports whether the slot is unassigned.
+func (s Slot) Idle() bool { return s.Job == NoJob }
+
+// Schedule is the genome: one Slot per GPU. The zero value is unusable;
+// construct with NewSchedule.
+type Schedule struct {
+	topo  Topology
+	slots []Slot
+}
+
+// NewSchedule returns an empty (all idle) schedule over topo.
+func NewSchedule(topo Topology) *Schedule {
+	s := &Schedule{topo: topo, slots: make([]Slot, topo.TotalGPUs())}
+	for i := range s.slots {
+		s.slots[i] = Slot{Job: NoJob}
+	}
+	return s
+}
+
+// Topology returns the cluster topology the schedule is defined over.
+func (s *Schedule) Topology() Topology { return s.topo }
+
+// NumGPUs returns the number of GPUs (genes) in the schedule.
+func (s *Schedule) NumGPUs() int { return len(s.slots) }
+
+// Slot returns the gene for GPU g.
+func (s *Schedule) Slot(g GPUID) Slot { return s.slots[g] }
+
+// SetSlot assigns GPU g to job j with local batch b. Passing NoJob (or a
+// non-positive batch) clears the slot.
+func (s *Schedule) SetSlot(g GPUID, j JobID, b int) {
+	if j == NoJob || b <= 0 {
+		s.slots[g] = Slot{Job: NoJob}
+		return
+	}
+	s.slots[g] = Slot{Job: j, Batch: b}
+}
+
+// Clear marks GPU g idle.
+func (s *Schedule) Clear(g GPUID) { s.slots[g] = Slot{Job: NoJob} }
+
+// Clone returns a deep copy of the schedule.
+func (s *Schedule) Clone() *Schedule {
+	c := &Schedule{topo: s.topo, slots: make([]Slot, len(s.slots))}
+	copy(c.slots, s.slots)
+	return c
+}
+
+// Equal reports whether two schedules assign identical slots over the same
+// topology.
+func (s *Schedule) Equal(o *Schedule) bool {
+	if s.topo != o.topo || len(s.slots) != len(o.slots) {
+		return false
+	}
+	for i := range s.slots {
+		if s.slots[i] != o.slots[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// GlobalBatch returns B_j = Σ_i b_j^i (Equation 2).
+func (s *Schedule) GlobalBatch(j JobID) int {
+	var b int
+	for _, sl := range s.slots {
+		if sl.Job == j {
+			b += sl.Batch
+		}
+	}
+	return b
+}
+
+// GPUCount returns c_j = Σ_i min(1, b_j^i) (Equation 2).
+func (s *Schedule) GPUCount(j JobID) int {
+	var c int
+	for _, sl := range s.slots {
+		if sl.Job == j {
+			c++
+		}
+	}
+	return c
+}
+
+// GPUsOf returns the GPUs currently assigned to job j, in index order.
+func (s *Schedule) GPUsOf(j JobID) []GPUID {
+	var gs []GPUID
+	for i, sl := range s.slots {
+		if sl.Job == j {
+			gs = append(gs, GPUID(i))
+		}
+	}
+	return gs
+}
+
+// RunningJobs returns the set of jobs with at least one GPU, in order of
+// first appearance on the GPU axis.
+func (s *Schedule) RunningJobs() []JobID {
+	seen := make(map[JobID]bool)
+	var jobs []JobID
+	for _, sl := range s.slots {
+		if sl.Idle() || seen[sl.Job] {
+			continue
+		}
+		seen[sl.Job] = true
+		jobs = append(jobs, sl.Job)
+	}
+	return jobs
+}
+
+// IsRunning reports whether job j holds at least one GPU.
+func (s *Schedule) IsRunning(j JobID) bool {
+	for _, sl := range s.slots {
+		if sl.Job == j {
+			return true
+		}
+	}
+	return false
+}
+
+// IdleGPUs returns the unassigned GPUs in index order.
+func (s *Schedule) IdleGPUs() []GPUID {
+	var gs []GPUID
+	for i, sl := range s.slots {
+		if sl.Idle() {
+			gs = append(gs, GPUID(i))
+		}
+	}
+	return gs
+}
+
+// NumIdle returns the number of unassigned GPUs.
+func (s *Schedule) NumIdle() int {
+	var n int
+	for _, sl := range s.slots {
+		if sl.Idle() {
+			n++
+		}
+	}
+	return n
+}
+
+// Evict removes job j from every GPU it occupies and returns the number of
+// slots freed.
+func (s *Schedule) Evict(j JobID) int {
+	var n int
+	for i, sl := range s.slots {
+		if sl.Job == j {
+			s.slots[i] = Slot{Job: NoJob}
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks genome invariants: every slot either idle with zero batch
+// or assigned with a positive batch (Equation 4 exclusivity is structural:
+// a slot holds exactly one job).
+func (s *Schedule) Validate() error {
+	if err := s.topo.Validate(); err != nil {
+		return err
+	}
+	if len(s.slots) != s.topo.TotalGPUs() {
+		return fmt.Errorf("cluster: %d slots for %d GPUs", len(s.slots), s.topo.TotalGPUs())
+	}
+	for i, sl := range s.slots {
+		if sl.Idle() && sl.Batch != 0 {
+			return fmt.Errorf("cluster: idle GPU %d has batch %d", i, sl.Batch)
+		}
+		if !sl.Idle() && sl.Batch <= 0 {
+			return fmt.Errorf("cluster: GPU %d runs job %d with batch %d", i, sl.Job, sl.Batch)
+		}
+	}
+	return nil
+}
+
+// Fragments returns the number of contiguous GPU spans occupied by job j.
+// A perfectly packed job has one fragment; the paper's reorder operator
+// exists to drive this number down (better locality, less cross-server
+// communication).
+func (s *Schedule) Fragments(j JobID) int {
+	var frags int
+	inRun := false
+	for _, sl := range s.slots {
+		if sl.Job == j {
+			if !inRun {
+				frags++
+				inRun = true
+			}
+		} else {
+			inRun = false
+		}
+	}
+	return frags
+}
+
+// ServersOf returns the number of distinct servers hosting job j. Jobs
+// spanning more servers pay higher communication cost in the performance
+// model.
+func (s *Schedule) ServersOf(j JobID) int {
+	seen := make(map[int]bool)
+	for i, sl := range s.slots {
+		if sl.Job == j {
+			seen[s.topo.ServerOf(GPUID(i))] = true
+		}
+	}
+	return len(seen)
+}
+
+// Reorder packs the workers of each job contiguously, in order of each
+// job's first occurrence, preserving every job's multiset of local batch
+// sizes (the paper's reorder operation, Figure 10). Idle slots are pushed
+// to the tail.
+func (s *Schedule) Reorder() {
+	order := s.RunningJobs()
+	batches := make(map[JobID][]int, len(order))
+	for _, sl := range s.slots {
+		if !sl.Idle() {
+			batches[sl.Job] = append(batches[sl.Job], sl.Batch)
+		}
+	}
+	idx := 0
+	for _, j := range order {
+		for _, b := range batches[j] {
+			s.slots[idx] = Slot{Job: j, Batch: b}
+			idx++
+		}
+	}
+	for ; idx < len(s.slots); idx++ {
+		s.slots[idx] = Slot{Job: NoJob}
+	}
+}
+
+// String renders the genome like Figure 1: one bracketed group per server,
+// each GPU shown as "job:batch" or "-" when idle.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	for srv := 0; srv < s.topo.Servers; srv++ {
+		if srv > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteByte('[')
+		for k := 0; k < s.topo.GPUsPerServer; k++ {
+			if k > 0 {
+				b.WriteByte(' ')
+			}
+			sl := s.slots[srv*s.topo.GPUsPerServer+k]
+			if sl.Idle() {
+				b.WriteByte('-')
+			} else {
+				fmt.Fprintf(&b, "%d:%d", sl.Job, sl.Batch)
+			}
+		}
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
+// Allocation summarizes one job's share of a schedule.
+type Allocation struct {
+	Job         JobID
+	GPUs        int // c_j
+	GlobalBatch int // B_j
+	Servers     int
+	Fragments   int
+}
+
+// Allocations returns per-job summaries for all running jobs in first-
+// occurrence order.
+func (s *Schedule) Allocations() []Allocation {
+	jobs := s.RunningJobs()
+	as := make([]Allocation, 0, len(jobs))
+	for _, j := range jobs {
+		as = append(as, Allocation{
+			Job:         j,
+			GPUs:        s.GPUCount(j),
+			GlobalBatch: s.GlobalBatch(j),
+			Servers:     s.ServersOf(j),
+			Fragments:   s.Fragments(j),
+		})
+	}
+	return as
+}

@@ -1,0 +1,310 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopologyBasics(t *testing.T) {
+	topo := Longhorn()
+	if got := topo.TotalGPUs(); got != 64 {
+		t.Fatalf("Longhorn TotalGPUs = %d, want 64", got)
+	}
+	if got := topo.ServerOf(0); got != 0 {
+		t.Errorf("ServerOf(0) = %d", got)
+	}
+	if got := topo.ServerOf(4); got != 1 {
+		t.Errorf("ServerOf(4) = %d, want 1", got)
+	}
+	if got := topo.ServerOf(63); got != 15 {
+		t.Errorf("ServerOf(63) = %d, want 15", got)
+	}
+	if err := topo.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if err := (Topology{Servers: 0, GPUsPerServer: 4}).Validate(); err == nil {
+		t.Error("expected error for zero servers")
+	}
+}
+
+func TestNewScheduleAllIdle(t *testing.T) {
+	s := NewSchedule(Topology{Servers: 2, GPUsPerServer: 2})
+	if s.NumIdle() != 4 {
+		t.Fatalf("NumIdle = %d, want 4", s.NumIdle())
+	}
+	if len(s.RunningJobs()) != 0 {
+		t.Error("fresh schedule should have no running jobs")
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestSetSlotAndDerivedQuantities(t *testing.T) {
+	s := NewSchedule(Topology{Servers: 2, GPUsPerServer: 4})
+	s.SetSlot(0, 1, 128)
+	s.SetSlot(1, 1, 128)
+	s.SetSlot(2, 2, 64)
+	s.SetSlot(5, 1, 256)
+
+	if got := s.GlobalBatch(1); got != 512 {
+		t.Errorf("GlobalBatch(1) = %d, want 512", got)
+	}
+	if got := s.GPUCount(1); got != 3 {
+		t.Errorf("GPUCount(1) = %d, want 3", got)
+	}
+	if got := s.GPUCount(2); got != 1 {
+		t.Errorf("GPUCount(2) = %d, want 1", got)
+	}
+	if got := s.GlobalBatch(99); got != 0 {
+		t.Errorf("GlobalBatch(unknown) = %d, want 0", got)
+	}
+	if got := s.NumIdle(); got != 4 {
+		t.Errorf("NumIdle = %d, want 4", got)
+	}
+	if !s.IsRunning(1) || s.IsRunning(99) {
+		t.Error("IsRunning wrong")
+	}
+	gpus := s.GPUsOf(1)
+	if len(gpus) != 3 || gpus[0] != 0 || gpus[1] != 1 || gpus[2] != 5 {
+		t.Errorf("GPUsOf(1) = %v", gpus)
+	}
+}
+
+func TestSetSlotClearsOnNoJobOrZeroBatch(t *testing.T) {
+	s := NewSchedule(Topology{Servers: 1, GPUsPerServer: 2})
+	s.SetSlot(0, 3, 32)
+	s.SetSlot(0, NoJob, 10)
+	if !s.Slot(0).Idle() {
+		t.Error("SetSlot(NoJob) should clear")
+	}
+	s.SetSlot(1, 3, 0)
+	if !s.Slot(1).Idle() {
+		t.Error("SetSlot batch=0 should clear")
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestRunningJobsOrderOfFirstAppearance(t *testing.T) {
+	s := NewSchedule(Topology{Servers: 1, GPUsPerServer: 6})
+	s.SetSlot(0, 7, 1)
+	s.SetSlot(1, 3, 1)
+	s.SetSlot(2, 7, 1)
+	s.SetSlot(4, 5, 1)
+	jobs := s.RunningJobs()
+	want := []JobID{7, 3, 5}
+	if len(jobs) != len(want) {
+		t.Fatalf("RunningJobs = %v, want %v", jobs, want)
+	}
+	for i := range want {
+		if jobs[i] != want[i] {
+			t.Fatalf("RunningJobs = %v, want %v", jobs, want)
+		}
+	}
+}
+
+func TestEvict(t *testing.T) {
+	s := NewSchedule(Topology{Servers: 1, GPUsPerServer: 4})
+	s.SetSlot(0, 1, 8)
+	s.SetSlot(1, 1, 8)
+	s.SetSlot(2, 2, 8)
+	if n := s.Evict(1); n != 2 {
+		t.Errorf("Evict freed %d, want 2", n)
+	}
+	if s.IsRunning(1) {
+		t.Error("job 1 still running after eviction")
+	}
+	if !s.IsRunning(2) {
+		t.Error("job 2 disappeared")
+	}
+	if n := s.Evict(42); n != 0 {
+		t.Errorf("Evict(absent) freed %d, want 0", n)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := NewSchedule(Topology{Servers: 1, GPUsPerServer: 2})
+	s.SetSlot(0, 1, 8)
+	c := s.Clone()
+	c.SetSlot(0, 2, 16)
+	if s.Slot(0).Job != 1 {
+		t.Error("Clone shares slot storage with original")
+	}
+	if !s.Clone().Equal(s) {
+		t.Error("Clone not Equal to original")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := NewSchedule(Topology{Servers: 1, GPUsPerServer: 2})
+	b := NewSchedule(Topology{Servers: 1, GPUsPerServer: 2})
+	if !a.Equal(b) {
+		t.Error("two empty schedules should be equal")
+	}
+	b.SetSlot(0, 1, 4)
+	if a.Equal(b) {
+		t.Error("different schedules reported equal")
+	}
+	c := NewSchedule(Topology{Servers: 2, GPUsPerServer: 1})
+	if a.Equal(c) {
+		t.Error("different topologies reported equal")
+	}
+}
+
+func TestFragmentsAndServers(t *testing.T) {
+	s := NewSchedule(Topology{Servers: 2, GPUsPerServer: 4})
+	// Job 1 on GPUs 0,1 (one fragment, one server).
+	s.SetSlot(0, 1, 1)
+	s.SetSlot(1, 1, 1)
+	// Job 2 on GPUs 3 and 5 (two fragments, two servers).
+	s.SetSlot(3, 2, 1)
+	s.SetSlot(5, 2, 1)
+	if got := s.Fragments(1); got != 1 {
+		t.Errorf("Fragments(1) = %d, want 1", got)
+	}
+	if got := s.Fragments(2); got != 2 {
+		t.Errorf("Fragments(2) = %d, want 2", got)
+	}
+	if got := s.ServersOf(1); got != 1 {
+		t.Errorf("ServersOf(1) = %d, want 1", got)
+	}
+	if got := s.ServersOf(2); got != 2 {
+		t.Errorf("ServersOf(2) = %d, want 2", got)
+	}
+}
+
+func TestReorderPacksByFirstOccurrence(t *testing.T) {
+	// Mirrors Figure 10: [3 1 2 2 2 1] reorders to [3 1 1 2 2 2].
+	s := NewSchedule(Topology{Servers: 1, GPUsPerServer: 6})
+	vals := []struct {
+		j JobID
+		b int
+	}{{3, 4}, {1, 8}, {2, 2}, {2, 2}, {2, 2}, {1, 8}}
+	for i, v := range vals {
+		s.SetSlot(GPUID(i), v.j, v.b)
+	}
+	s.Reorder()
+	wantJobs := []JobID{3, 1, 1, 2, 2, 2}
+	for i, w := range wantJobs {
+		if got := s.Slot(GPUID(i)).Job; got != w {
+			t.Fatalf("after Reorder slot %d = job %d, want %d (%v)", i, got, w, s)
+		}
+	}
+	for _, j := range []JobID{1, 2, 3} {
+		if got := s.Fragments(j); got != 1 {
+			t.Errorf("after Reorder Fragments(%d) = %d, want 1", j, got)
+		}
+	}
+}
+
+// randomSchedule builds a valid random schedule for property tests.
+func randomSchedule(rng *rand.Rand) *Schedule {
+	topo := Topology{Servers: 1 + rng.Intn(4), GPUsPerServer: 1 + rng.Intn(6)}
+	s := NewSchedule(topo)
+	for g := 0; g < s.NumGPUs(); g++ {
+		if rng.Float64() < 0.3 {
+			continue // leave idle
+		}
+		s.SetSlot(GPUID(g), JobID(rng.Intn(5)), 1<<uint(rng.Intn(8)))
+	}
+	return s
+}
+
+func TestReorderPreservesPerJobTotalsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomSchedule(rng)
+		before := make(map[JobID][2]int)
+		for _, j := range s.RunningJobs() {
+			before[j] = [2]int{s.GlobalBatch(j), s.GPUCount(j)}
+		}
+		idleBefore := s.NumIdle()
+		s.Reorder()
+		if s.Validate() != nil || s.NumIdle() != idleBefore {
+			return false
+		}
+		for j, w := range before {
+			if s.GlobalBatch(j) != w[0] || s.GPUCount(j) != w[1] {
+				return false
+			}
+		}
+		// Every running job must be contiguous after reorder.
+		for _, j := range s.RunningJobs() {
+			if s.Fragments(j) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGlobalBatchEqualsSumOfSlotsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomSchedule(rng)
+		// Sum of per-job global batches equals sum over all slots.
+		var total int
+		for _, j := range s.RunningJobs() {
+			total += s.GlobalBatch(j)
+		}
+		var slotSum int
+		for g := 0; g < s.NumGPUs(); g++ {
+			slotSum += s.Slot(GPUID(g)).Batch
+		}
+		// And GPU counts partition the non-idle slots.
+		var cSum int
+		for _, j := range s.RunningJobs() {
+			cSum += s.GPUCount(j)
+		}
+		return total == slotSum && cSum == s.NumGPUs()-s.NumIdle()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := NewSchedule(Topology{Servers: 2, GPUsPerServer: 2})
+	s.SetSlot(0, 1, 32)
+	got := s.String()
+	want := "[1:32 -] [- -]"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestAllocations(t *testing.T) {
+	s := NewSchedule(Topology{Servers: 2, GPUsPerServer: 2})
+	s.SetSlot(0, 5, 16)
+	s.SetSlot(1, 5, 16)
+	s.SetSlot(2, 9, 64)
+	as := s.Allocations()
+	if len(as) != 2 {
+		t.Fatalf("Allocations len = %d, want 2", len(as))
+	}
+	if as[0].Job != 5 || as[0].GPUs != 2 || as[0].GlobalBatch != 32 || as[0].Servers != 1 {
+		t.Errorf("Allocations[0] = %+v", as[0])
+	}
+	if as[1].Job != 9 || as[1].GPUs != 1 || as[1].GlobalBatch != 64 {
+		t.Errorf("Allocations[1] = %+v", as[1])
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	s := NewSchedule(Topology{Servers: 1, GPUsPerServer: 2})
+	s.slots[0] = Slot{Job: 1, Batch: 0} // corrupt directly
+	if err := s.Validate(); err == nil {
+		t.Error("Validate missed assigned slot with zero batch")
+	}
+	s2 := NewSchedule(Topology{Servers: 1, GPUsPerServer: 2})
+	s2.slots[1] = Slot{Job: NoJob, Batch: 5}
+	if err := s2.Validate(); err == nil {
+		t.Error("Validate missed idle slot with nonzero batch")
+	}
+}

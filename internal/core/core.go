@@ -1,0 +1,131 @@
+// Package core is the public façade of the ONES reproduction: it wires the
+// workload generator, the discrete-event cluster simulator and the
+// scheduler implementations together, and hosts the experiment suite that
+// regenerates every table and figure of the paper's evaluation.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/schedulers"
+	"repro/internal/simulator"
+	"repro/internal/workload"
+)
+
+// SchedulerKind names a scheduling policy.
+type SchedulerKind string
+
+// Available schedulers: ONES and the paper's three baselines, plus the
+// FIFO/SJF extras used in ablations.
+const (
+	KindONES     SchedulerKind = "ones"
+	KindDRL      SchedulerKind = "drl"
+	KindTiresias SchedulerKind = "tiresias"
+	KindOptimus  SchedulerKind = "optimus"
+	KindFIFO     SchedulerKind = "fifo"
+	KindSJF      SchedulerKind = "sjf"
+)
+
+// PaperBaselines are the schedulers compared in Figure 15.
+func PaperBaselines() []SchedulerKind {
+	return []SchedulerKind{KindONES, KindDRL, KindTiresias, KindOptimus}
+}
+
+// RunConfig describes one simulation run.
+type RunConfig struct {
+	Scheduler SchedulerKind
+	Topo      cluster.Topology // zero ⇒ the paper's 16×4 Longhorn testbed
+	Trace     workload.Config  // zero ⇒ workload.DefaultConfig()
+	Seed      int64            // scheduler RNG seed (0 ⇒ 1)
+
+	// Population overrides ONES's population size K (0 ⇒ cluster size).
+	// Smaller populations run faster with slightly noisier search.
+	Population int
+	// MutationRate overrides ONES's θ (0 ⇒ default 0.1).
+	MutationRate float64
+}
+
+func (c *RunConfig) normalize() {
+	if c.Topo == (cluster.Topology{}) {
+		c.Topo = cluster.Longhorn()
+	}
+	if c.Trace == (workload.Config{}) {
+		c.Trace = workload.DefaultConfig()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// NewScheduler constructs the named scheduler.
+func NewScheduler(kind SchedulerKind, seed int64, trace workload.Config, population int, mutation float64) (simulator.Scheduler, error) {
+	switch kind {
+	case KindONES:
+		o := schedulers.NewONES(seed, trace.ArrivalRate())
+		if population > 0 {
+			o.PopulationSize = population
+		}
+		if mutation > 0 {
+			o.MutationRate = mutation
+		}
+		return o, nil
+	case KindDRL:
+		return schedulers.NewDRL(seed), nil
+	case KindTiresias:
+		return schedulers.NewTiresias(), nil
+	case KindOptimus:
+		return schedulers.NewOptimus(), nil
+	case KindFIFO:
+		return schedulers.NewFIFO(), nil
+	case KindSJF:
+		return schedulers.NewSJF(), nil
+	default:
+		return nil, fmt.Errorf("core: unknown scheduler %q", kind)
+	}
+}
+
+// Run simulates one trace under one scheduler.
+func Run(cfg RunConfig) (*simulator.Result, error) { return RunWithEvents(cfg, false) }
+
+// RunWithEvents is Run with the scheduling event log enabled on demand.
+func RunWithEvents(cfg RunConfig, recordEvents bool) (*simulator.Result, error) {
+	cfg.normalize()
+	trace, err := workload.Generate(cfg.Trace)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := NewScheduler(cfg.Scheduler, cfg.Seed, cfg.Trace, cfg.Population, cfg.MutationRate)
+	if err != nil {
+		return nil, err
+	}
+	simCfg := simulator.DefaultConfig(trace)
+	simCfg.Topo = cfg.Topo
+	simCfg.RecordEvents = recordEvents
+	return simulator.Run(simCfg, sched)
+}
+
+// Compare runs several schedulers against the SAME generated trace — the
+// pairing the Wilcoxon analysis of Table 4 requires.
+func Compare(cfg RunConfig, kinds []SchedulerKind) ([]*simulator.Result, error) {
+	cfg.normalize()
+	trace, err := workload.Generate(cfg.Trace)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*simulator.Result, 0, len(kinds))
+	for _, k := range kinds {
+		sched, err := NewScheduler(k, cfg.Seed, cfg.Trace, cfg.Population, cfg.MutationRate)
+		if err != nil {
+			return nil, err
+		}
+		simCfg := simulator.DefaultConfig(trace)
+		simCfg.Topo = cfg.Topo
+		res, err := simulator.Run(simCfg, sched)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", k, err)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}

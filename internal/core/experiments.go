@@ -1,0 +1,534 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/perfmodel"
+	"repro/internal/predictor"
+	"repro/internal/runtime"
+	"repro/internal/scaling"
+	"repro/internal/simulator"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Options parameterize the experiment suite.
+type Options struct {
+	Seed         int64
+	Jobs         int     // trace length for Fig 15/17/18
+	Interarrival float64 // seconds between arrivals
+	Population   int     // ONES population size K
+	Capacities   []int   // GPU counts for the scalability sweep
+	ParamScale   int     // live-runtime model-size divisor (Fig 16)
+	CFPoints     int     // samples per cumulative-frequency curve
+}
+
+// DefaultOptions reproduce the paper-scale experiments (minutes of wall
+// time: the evolutionary search is the dominant cost).
+func DefaultOptions() Options {
+	return Options{
+		Seed:         1,
+		Jobs:         120,
+		Interarrival: 12,
+		Population:   32,
+		Capacities:   []int{16, 32, 48, 64},
+		ParamScale:   50,
+		CFPoints:     12,
+	}
+}
+
+// QuickOptions shrink every experiment for smoke tests and benchmarks.
+func QuickOptions() Options {
+	return Options{
+		Seed:         1,
+		Jobs:         30,
+		Interarrival: 12,
+		Population:   10,
+		Capacities:   []int{16, 64},
+		ParamScale:   400,
+		CFPoints:     8,
+	}
+}
+
+// Suite runs and caches the paper's experiments. Methods are not safe for
+// concurrent use.
+type Suite struct {
+	Opt Options
+
+	fig15 []*simulator.Result
+	fig17 map[int][]*simulator.Result // capacity → results
+}
+
+// NewSuite returns a Suite over the given options.
+func NewSuite(opt Options) *Suite {
+	if opt.Jobs <= 0 {
+		opt = DefaultOptions()
+	}
+	return &Suite{Opt: opt, fig17: make(map[int][]*simulator.Result)}
+}
+
+// traceConfig returns the suite's workload configuration.
+func (s *Suite) traceConfig() workload.Config {
+	return workload.Config{
+		Seed:             s.Opt.Seed,
+		NumJobs:          s.Opt.Jobs,
+		MeanInterarrival: s.Opt.Interarrival,
+		MaxReqGPUs:       8,
+	}
+}
+
+// Fig2 regenerates Figure 2: ResNet50/CIFAR10 throughput vs worker count,
+// elastic (256 per worker) against a fixed global batch of 256.
+func (s *Suite) Fig2() string {
+	p := perfmodel.CIFARResNet50()
+	net := perfmodel.DefaultNetwork()
+	var b strings.Builder
+	b.WriteString("Figure 2 — training speed of ResNet50 on CIFAR10 (images/s)\n")
+	fmt.Fprintf(&b, "%8s %16s %16s\n", "workers", "elastic batch", "fixed batch=256")
+	for c := 1; c <= 8; c++ {
+		fmt.Fprintf(&b, "%8d %16.0f %16.0f\n", c,
+			perfmodel.PackedThroughput(p, net, 256*c, c, 4),
+			perfmodel.PackedThroughput(p, net, 256, c, 4))
+	}
+	return b.String()
+}
+
+// Fig3 regenerates Figure 3: accuracy vs epochs with a fixed local batch
+// of 256 on 1/2/4/8 GPUs (global batch grows, learning rate does not).
+func (s *Suite) Fig3() string {
+	p := perfmodel.CIFARResNet50()
+	var b strings.Builder
+	b.WriteString("Figure 3 — accuracy with fixed local batch 256 (no LR scaling)\n")
+	fmt.Fprintf(&b, "%8s %8s %8s %8s %8s\n", "epochs", "1 GPU", "2 GPUs", "4 GPUs", "8 GPUs")
+	for _, e := range []float64{10, 25, 50, 100, 150, 200} {
+		fmt.Fprintf(&b, "%8.0f", e)
+		for _, c := range []int{1, 2, 4, 8} {
+			B := 256 * c
+			eff := e / perfmodel.EpochPenalty(p, B, false)
+			fmt.Fprintf(&b, " %8.3f", perfmodel.AccuracyAt(p, eff, B, false))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fig6 regenerates Figure 6: the online predictor's progress estimate with
+// a 90% confidence interval against the observed progress of a held-out
+// job.
+func (s *Suite) Fig6() (string, error) {
+	pred := predictor.New(s.Opt.Seed, predictor.DefaultConfig())
+	catalog := workload.Catalog()
+	// Train the model on completed jobs spanning the catalog.
+	for i, task := range catalog {
+		if i%2 == 1 {
+			continue // hold out half
+		}
+		logs, err := trainingLogs(task, task.Profile.RefBatch)
+		if err != nil {
+			return "", err
+		}
+		if err := pred.AddCompletedJob(logs); err != nil {
+			return "", err
+		}
+	}
+	// Held-out job: mid-sized ResNet50.
+	var held workload.Task
+	for _, task := range catalog {
+		if task.Name == "resnet50-imagenet-14k" {
+			held = task
+		}
+	}
+	tr, err := perfmodel.NewTrainer(held.Profile, held.DatasetSize, held.Profile.RefBatch, true)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 6 — online prediction of training progress (held-out job)\n")
+	fmt.Fprintf(&b, "%12s %10s %10s %10s %10s\n", "# samples", "observed", "predicted", "ci90-lo", "ci90-hi")
+	for !tr.Converged() {
+		tr.AdvanceEpoch()
+		d := pred.Predict(predictor.Features{
+			DatasetSize: float64(tr.DatasetSize()),
+			InitLoss:    held.Profile.InitLoss,
+			Processed:   float64(tr.Processed()),
+			LossRatio:   tr.LossRatio(),
+			Accuracy:    tr.Accuracy(),
+		})
+		lo, hi := d.CI(0.9)
+		fmt.Fprintf(&b, "%12d %10.3f %10.3f %10.3f %10.3f\n",
+			tr.Processed(), tr.TrueProgress(), d.Mean(), lo, hi)
+	}
+	return b.String(), nil
+}
+
+// trainingLogs simulates one job to convergence at a fixed batch and
+// returns its labeled per-epoch predictor samples.
+func trainingLogs(task workload.Task, batch int) ([]predictor.Sample, error) {
+	tr, err := perfmodel.NewTrainer(task.Profile, task.DatasetSize, batch, true)
+	if err != nil {
+		return nil, err
+	}
+	var raw []predictor.Sample
+	var processed []int64
+	for !tr.Converged() {
+		tr.AdvanceEpoch()
+		raw = append(raw, predictor.Sample{X: predictor.Features{
+			DatasetSize: float64(task.DatasetSize),
+			InitLoss:    task.Profile.InitLoss,
+			Processed:   float64(tr.Processed()),
+			LossRatio:   tr.LossRatio(),
+			Accuracy:    tr.Accuracy(),
+		}})
+		processed = append(processed, tr.Processed())
+	}
+	total := float64(tr.Processed())
+	logs := raw[:0]
+	for i := range raw {
+		p := float64(processed[i]) / total
+		if p <= 0 || p >= 1 {
+			continue
+		}
+		raw[i].Progress = p
+		logs = append(logs, raw[i])
+	}
+	return logs, nil
+}
+
+// Table2 renders the workload catalog composition.
+func (s *Suite) Table2() string {
+	catalog := workload.Catalog()
+	var b strings.Builder
+	b.WriteString("Table 2 — workload catalog (50 task types)\n")
+	fmt.Fprintf(&b, "%-28s %-12s %-10s %10s %8s\n", "task", "class", "model", "‖D‖", "classes")
+	for _, t := range catalog {
+		fmt.Fprintf(&b, "%-28s %-12s %-10s %10d %8d\n", t.Name, t.Class, t.Model, t.DatasetSize, t.Classes)
+	}
+	return b.String()
+}
+
+// Table3 renders the scheduler capability matrix.
+func (s *Suite) Table3() string {
+	var b strings.Builder
+	b.WriteString("Table 3 — scheduler capabilities\n")
+	fmt.Fprintf(&b, "%-10s %-18s %-12s %-14s %-14s\n",
+		"scheduler", "strategy", "preemption", "elastic size", "elastic batch")
+	rows := [][5]string{
+		{"ONES", "dynamic (EA)", "yes", "yes", "yes"},
+		{"DRL", "dynamic (RL)", "no", "yes", "no"},
+		{"Tiresias", "greedy (LAS)", "yes", "no", "no"},
+		{"Optimus", "greedy (periodic)", "yes", "yes", "no"},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-18s %-12s %-14s %-14s\n", r[0], r[1], r[2], r[3], r[4])
+	}
+	return b.String()
+}
+
+// Fig15Results runs (once) the head-to-head comparison on the default
+// 64-GPU trace.
+func (s *Suite) Fig15Results() ([]*simulator.Result, error) {
+	if s.fig15 != nil {
+		return s.fig15, nil
+	}
+	cfg := RunConfig{
+		Topo:       cluster.Longhorn(),
+		Trace:      s.traceConfig(),
+		Seed:       s.Opt.Seed,
+		Population: s.Opt.Population,
+	}
+	res, err := Compare(cfg, PaperBaselines())
+	if err != nil {
+		return nil, err
+	}
+	s.fig15 = res
+	return res, nil
+}
+
+// Fig15 renders all nine panels of Figure 15 as text.
+func (s *Suite) Fig15() (string, error) {
+	results, err := s.Fig15Results()
+	if err != nil {
+		return "", err
+	}
+	sums := make([]metrics.Summary, len(results))
+	for i, r := range results {
+		sums[i] = metrics.Summarize(r)
+	}
+	metrics.SortSummaries(sums)
+	var b strings.Builder
+	b.WriteString("Figure 15a–c — average completion / execution / queuing time\n")
+	b.WriteString(metrics.ComparisonTable(sums))
+	b.WriteByte('\n')
+	for _, m := range []metrics.Metric{metrics.JCT, metrics.Exec, metrics.Queue} {
+		b.WriteString("Figure 15d–f — ")
+		b.WriteString(metrics.BoxTable(results, m))
+		b.WriteByte('\n')
+	}
+	for _, m := range []metrics.Metric{metrics.JCT, metrics.Exec, metrics.Queue} {
+		fmt.Fprintf(&b, "Figure 15g–i — cumulative frequency of %s\n", m)
+		b.WriteString(metrics.RenderCF(metrics.CFCurves(results, m, s.Opt.CFPoints)))
+		b.WriteByte('\n')
+	}
+	// The paper's headline observation on the JCT distribution.
+	for _, r := range results {
+		fmt.Fprintf(&b, "fraction of jobs completed within 200 s (%s): %.0f%%\n",
+			r.Scheduler, 100*metrics.FractionWithin(r, metrics.JCT, 200))
+	}
+	return b.String(), nil
+}
+
+// Table4 runs the Wilcoxon significance tests of ONES against each
+// baseline on the paired per-job JCTs from the Figure 15 runs.
+func (s *Suite) Table4() (string, error) {
+	results, err := s.Fig15Results()
+	if err != nil {
+		return "", err
+	}
+	var ones *simulator.Result
+	for _, r := range results {
+		if r.Scheduler == "ONES" {
+			ones = r
+		}
+	}
+	if ones == nil {
+		return "", fmt.Errorf("core: Figure 15 runs missing ONES")
+	}
+	var b strings.Builder
+	b.WriteString("Table 4 — Wilcoxon significance tests on per-job JCT\n")
+	fmt.Fprintf(&b, "%-14s %18s %26s\n", "comparison", "p (two-sided)", "p (one-sided negative)")
+	for _, r := range results {
+		if r.Scheduler == "ONES" {
+			continue
+		}
+		two, err := stats.Wilcoxon(ones.JCTs(), r.JCTs(), stats.TwoSided)
+		if err != nil {
+			return "", err
+		}
+		neg, err := stats.Wilcoxon(ones.JCTs(), r.JCTs(), stats.Greater)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "vs. %-10s %18.3g %26.5f\n", r.Scheduler, two.P, neg.P)
+	}
+	b.WriteString("(small two-sided p rejects equivalence; one-sided p near 1 accepts \"ONES smaller\")\n")
+	return b.String(), nil
+}
+
+// Fig13 regenerates Figure 13: abrupt 256→4096 rescale at epoch 30.
+func (s *Suite) Fig13() (string, error) {
+	return s.lossCurve("Figure 13 — loss under abrupt rescale 256→4096 at epoch 30",
+		map[int]int{30: 4096})
+}
+
+// Fig14 regenerates Figure 14: gradual 256→1024→4096 rescale.
+func (s *Suite) Fig14() (string, error) {
+	return s.lossCurve("Figure 14 — loss under gradual rescale 256→1024→4096",
+		map[int]int{30: 1024, 60: 4096})
+}
+
+// lossCurve trains ResNet50/CIFAR10 for 90 epochs applying the given
+// epoch→batch rescales, against a fixed-batch control run.
+func (s *Suite) lossCurve(title string, rescale map[int]int) (string, error) {
+	p := perfmodel.CIFARResNet50()
+	scaled, err := perfmodel.NewTrainer(p, 40000, 256, true)
+	if err != nil {
+		return "", err
+	}
+	fixed, err := perfmodel.NewTrainer(p, 40000, 256, true)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	fmt.Fprintf(&b, "%8s %14s %14s\n", "epoch", "scaled batch", "fixed batch")
+	for e := 1; e <= 90; e++ {
+		if nb, ok := rescale[e]; ok {
+			scaled.SetBatch(nb)
+		}
+		scaled.AdvanceEpoch()
+		fixed.AdvanceEpoch()
+		if e%3 == 0 || e == 1 {
+			fmt.Fprintf(&b, "%8d %14.4f %14.4f\n", e, scaled.Loss(), fixed.Loss())
+		}
+	}
+	return b.String(), nil
+}
+
+// Fig16Row is one model's measured and calibrated scaling overheads.
+type Fig16Row struct {
+	Model              string
+	ElasticMeasured    float64 // seconds, live mini-cluster
+	CheckpointMeasured float64 // seconds, live mini-cluster
+	ElasticPaper       float64 // seconds, calibrated cost model
+	CheckpointPaper    float64 // seconds, calibrated cost model
+}
+
+// Fig16 measures the scaling overheads on the live runtime for each model
+// in the paper's Figure 16, alongside the cost model calibrated to the
+// paper's testbed magnitudes.
+func (s *Suite) Fig16() ([]Fig16Row, string, error) {
+	models := []string{"alexnet", "resnet18", "resnet50", "vgg16", "googlenet", "inceptionv3", "lstm"}
+	cm := scaling.DefaultCostModel()
+	scale := s.Opt.ParamScale
+	if scale <= 0 {
+		scale = 50
+	}
+	rows := make([]Fig16Row, 0, len(models))
+	for _, name := range models {
+		prof, err := perfmodel.ByName(name)
+		if err != nil {
+			return nil, "", err
+		}
+		params := int(prof.GradBytes/4) / scale
+		if params < 1024 {
+			params = 1024
+		}
+		spec := runtime.Spec{
+			Name:        name,
+			ParamCount:  params,
+			GlobalBatch: 256,
+			LR:          0.05,
+			Momentum:    0.9,
+			DatasetSize: 1 << 18,
+		}
+		elastic, err := measureRescale(spec, false)
+		if err != nil {
+			return nil, "", err
+		}
+		checkpoint, err := measureRescale(spec, true)
+		if err != nil {
+			return nil, "", err
+		}
+		rows = append(rows, Fig16Row{
+			Model:              name,
+			ElasticMeasured:    elastic,
+			CheckpointMeasured: checkpoint,
+			ElasticPaper:       cm.Elastic(prof, 2, 4),
+			CheckpointPaper:    cm.Checkpoint(prof),
+		})
+	}
+	var b strings.Builder
+	b.WriteString("Figure 16 — batch-size scaling overhead: elastic vs checkpoint-based (s)\n")
+	fmt.Fprintf(&b, "%-12s %16s %16s %14s %14s\n",
+		"model", "elastic (live)", "ckpt (live)", "elastic (cal)", "ckpt (cal)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %16.4f %16.4f %14.2f %14.2f\n",
+			r.Model, r.ElasticMeasured, r.CheckpointMeasured, r.ElasticPaper, r.CheckpointPaper)
+	}
+	b.WriteString("(live columns: measured on the goroutine mini-cluster with models scaled down\n")
+	fmt.Fprintf(&b, " by %dx; calibrated columns: cost model matching the paper's V100 testbed)\n", scale)
+	return rows, b.String(), nil
+}
+
+// measureRescale times one 2→4 worker rescale on the live runtime.
+func measureRescale(spec runtime.Spec, viaCheckpoint bool) (float64, error) {
+	j, err := runtime.Start(spec, 2)
+	if err != nil {
+		return 0, err
+	}
+	defer j.Stop()
+	if viaCheckpoint {
+		d, err := j.RescaleCheckpoint(4, 2*spec.GlobalBatch)
+		return d.Seconds(), err
+	}
+	d, err := j.RescaleElastic(4, 2*spec.GlobalBatch)
+	return d.Seconds(), err
+}
+
+// Fig17Results runs (once) the capacity sweep.
+func (s *Suite) Fig17Results() (map[int][]*simulator.Result, error) {
+	for _, capGPUs := range s.Opt.Capacities {
+		if _, ok := s.fig17[capGPUs]; ok {
+			continue
+		}
+		topo := cluster.Topology{Servers: (capGPUs + 3) / 4, GPUsPerServer: 4}
+		cfg := RunConfig{
+			Topo:       topo,
+			Trace:      s.traceConfig(),
+			Seed:       s.Opt.Seed,
+			Population: s.Opt.Population,
+		}
+		res, err := Compare(cfg, PaperBaselines())
+		if err != nil {
+			return nil, fmt.Errorf("core: capacity %d: %w", capGPUs, err)
+		}
+		s.fig17[capGPUs] = res
+	}
+	return s.fig17, nil
+}
+
+// Fig17 renders average JCT vs cluster capacity.
+func (s *Suite) Fig17() (string, error) {
+	byCap, err := s.Fig17Results()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 17 — average JCT (s) vs cluster capacity\n")
+	fmt.Fprintf(&b, "%8s", "GPUs")
+	for _, k := range PaperBaselines() {
+		fmt.Fprintf(&b, " %10s", schedName(k))
+	}
+	b.WriteByte('\n')
+	for _, capGPUs := range s.Opt.Capacities {
+		fmt.Fprintf(&b, "%8d", capGPUs)
+		for i := range PaperBaselines() {
+			fmt.Fprintf(&b, " %10.1f", byCap[capGPUs][i].MeanJCT())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// Fig18 renders the relative JCT (baseline / ONES) per capacity.
+func (s *Suite) Fig18() (string, error) {
+	byCap, err := s.Fig17Results()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 18 — JCT relative to ONES (lower is better; ONES = 1.00)\n")
+	fmt.Fprintf(&b, "%8s", "GPUs")
+	for _, k := range PaperBaselines() {
+		fmt.Fprintf(&b, " %10s", schedName(k))
+	}
+	b.WriteByte('\n')
+	for _, capGPUs := range s.Opt.Capacities {
+		results := byCap[capGPUs]
+		var ones float64
+		for _, r := range results {
+			if r.Scheduler == "ONES" {
+				ones = r.MeanJCT()
+			}
+		}
+		fmt.Fprintf(&b, "%8d", capGPUs)
+		for _, r := range results {
+			rel := math.NaN()
+			if ones > 0 {
+				rel = r.MeanJCT() / ones
+			}
+			fmt.Fprintf(&b, " %10.2f", rel)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+func schedName(k SchedulerKind) string {
+	switch k {
+	case KindONES:
+		return "ONES"
+	case KindDRL:
+		return "DRL"
+	case KindTiresias:
+		return "Tiresias"
+	case KindOptimus:
+		return "Optimus"
+	default:
+		return string(k)
+	}
+}

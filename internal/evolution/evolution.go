@@ -1,0 +1,627 @@
+// Package evolution implements ONES's online evolutionary search (§3.2):
+// a population of schedule genomes is evolved with refresh, uniform
+// crossover, uniform mutation and reorder operations, scored by the SRUF
+// (smallest remaining utilization first) objective of Equation 8 using
+// Beta-distributed progress draws (Algorithm 1), and the best candidate is
+// deployed.
+package evolution
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cluster"
+	"repro/internal/predictor"
+)
+
+// JobInfo is everything the search needs to know about one alive job.
+type JobInfo struct {
+	ID        cluster.JobID
+	Limit     int // batch-size limit R_j (§3.3.2)
+	MaxPerGPU int // largest local batch fitting one GPU
+	// DeployedBatch is the job's batch size in the live deployment
+	// (0 when waiting). §3.3.2 only allows rescaling "within a limited
+	// range at each time", so candidate schedules may not grow a job
+	// beyond GrowthFactor× this value in a single deployment.
+	DeployedBatch    int
+	EpochSize        float64 // ‖D‖; also the Y floor for jobs with no history
+	ProcessedSamples float64 // Y_processed
+	ProcessedTime    float64 // T_processed, executed seconds (eviction order)
+	Dist             predictor.Dist
+}
+
+// GrowthFactor is the largest single-deployment batch growth. It matches
+// perfmodel.AbruptFactor: growing faster injects gradient noise and spikes
+// the loss (Figure 13).
+const GrowthFactor = 4
+
+// effLimit returns the job's effective batch ceiling for this round of
+// candidate generation.
+func (info *JobInfo) effLimit() int {
+	r := info.Limit
+	if info.DeployedBatch > 0 && r > GrowthFactor*info.DeployedBatch {
+		r = GrowthFactor * info.DeployedBatch
+	}
+	return r
+}
+
+// Context carries the live cluster state into one evolution iteration.
+type Context struct {
+	Topo cluster.Topology
+	// Jobs holds every alive (running or waiting) job. Jobs absent from
+	// the map are treated as completed and cleaned out of genomes.
+	Jobs map[cluster.JobID]*JobInfo
+	// NewJobs lists jobs that have arrived and never been allocated,
+	// in arrival order; refresh allocates them preferentially.
+	NewJobs []cluster.JobID
+	// Throughput returns X_j for job j at global batch B over c workers
+	// spanning `servers` servers.
+	Throughput func(j cluster.JobID, B, c, servers int) float64
+	Rng        *rand.Rand
+}
+
+// throughputOf evaluates X_j for job j as placed in schedule s.
+func (ctx *Context) throughputOf(s *cluster.Schedule, j cluster.JobID) float64 {
+	return ctx.Throughput(j, s.GlobalBatch(j), s.GPUCount(j), s.ServersOf(j))
+}
+
+// sortedIDs returns the alive job IDs in ascending order so that random
+// draws are consumed in a deterministic sequence.
+func (ctx *Context) sortedIDs() []cluster.JobID {
+	ids := make([]cluster.JobID, 0, len(ctx.Jobs))
+	for id := range ctx.Jobs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// SampleRhos draws one progress sample per alive job (Algorithm 1,
+// lines 1–3). All candidates in one selection round are scored against the
+// same draws.
+func SampleRhos(ctx *Context) map[cluster.JobID]float64 {
+	rhos := make(map[cluster.JobID]float64, len(ctx.Jobs))
+	for _, id := range ctx.sortedIDs() {
+		rhos[id] = ctx.Jobs[id].Dist.Sample(ctx.Rng)
+	}
+	return rhos
+}
+
+// remainingWork returns the sampled remaining workload Y_j (Equation 7)
+// with the epoch size as a floor so brand-new jobs are not free.
+func remainingWork(info *JobInfo, rho float64) float64 {
+	processed := info.ProcessedSamples
+	if processed < info.EpochSize {
+		processed = info.EpochSize
+	}
+	return processed * (1/rho - 1)
+}
+
+// Score computes the SRUF objective of Equation 8 for schedule s:
+//
+//	Σ_{j∈J_r}  Y_processed_j · c_j / X_j · (1/ρ_j − 1)
+//
+// Lower is better. A running job with zero throughput makes the schedule
+// infeasible (+Inf).
+//
+// The paper's Equation 4 constrains candidates to assign every GPU; our
+// operators may leave GPUs idle when job limits bind, so the raw sum is
+// scaled by totalGPUs/usedGPUs — a half-used cluster carries twice the
+// remaining utilization per allocated GPU. Without this, the objective
+// would reward starving jobs of GPUs they could productively use.
+func Score(s *cluster.Schedule, ctx *Context, rhos map[cluster.JobID]float64) float64 {
+	var total float64
+	used := 0
+	for _, j := range s.RunningJobs() {
+		info, ok := ctx.Jobs[j]
+		if !ok {
+			continue // completed job still in genome; refresh will clean it
+		}
+		x := ctx.throughputOf(s, j)
+		if x <= 0 {
+			return math.Inf(1)
+		}
+		rho, ok := rhos[j]
+		if !ok || rho <= 0 {
+			rho = 0.5
+		}
+		c := s.GPUCount(j)
+		used += c
+		total += remainingWork(info, rho) * float64(c) / x
+	}
+	if used > 0 {
+		total *= float64(s.NumGPUs()) / float64(used)
+	}
+	return total
+}
+
+// assign places job j on the given GPUs with global batch B distributed as
+// evenly as integer slots allow. B is clamped to the feasible range
+// [len(gpus), len(gpus)*MaxPerGPU].
+func assign(s *cluster.Schedule, info *JobInfo, gpus []cluster.GPUID, B int) {
+	c := len(gpus)
+	if c == 0 {
+		return
+	}
+	if B < c {
+		B = c
+	}
+	if max := c * info.MaxPerGPU; B > max {
+		B = max
+	}
+	base := B / c
+	rem := B % c
+	for i, g := range gpus {
+		b := base
+		if i < rem {
+			b++
+		}
+		s.SetSlot(g, info.ID, b)
+	}
+}
+
+// normalize removes completed jobs from s and enforces R_j: any job with
+// B_j > R_j is scaled down by c_j − ⌊R_j·c_j/B_j⌋ GPUs (the paper's refresh
+// step 2) and its batch reassigned within the limit.
+func normalize(s *cluster.Schedule, ctx *Context) {
+	for _, j := range s.RunningJobs() {
+		info, ok := ctx.Jobs[j]
+		if !ok {
+			s.Evict(j)
+			continue
+		}
+		gpus := s.GPUsOf(j)
+		B := s.GlobalBatch(j)
+		c := len(gpus)
+		target := B
+		keep := c
+		if info.Limit < B {
+			keep = info.Limit * c / B // ⌊R·c/B⌋
+			if keep < 1 {
+				keep = 1
+			}
+			target = info.Limit
+		}
+		if maxB := keep * info.MaxPerGPU; target > maxB {
+			target = maxB
+		}
+		if keep == c && target == B {
+			continue
+		}
+		for _, g := range gpus[keep:] {
+			s.Clear(g)
+		}
+		assign(s, info, gpus[:keep], target)
+	}
+}
+
+// fillOption is one way to consume idle GPUs: starting a waiting job or
+// growing a running one toward its limit. For resumes, score is the job's
+// sampled remaining footprint Y/X (lower first — shortest remaining
+// first). For growths, score is the sampled throughput gain per added GPU
+// (higher first).
+type fillOption struct {
+	job    cluster.JobID
+	gpus   int // additional GPUs consumed
+	batch  int // resulting global batch
+	resume bool
+	score  float64
+}
+
+// fill consumes idle GPUs in two phases (refresh step 4, Figure 7):
+// waiting jobs are resumed first — queuing hurts JCT directly and resuming
+// on one GPU is cheap — shortest sampled remaining time first (the
+// Algorithm 1 minimization over {Δφ_j·Y_j}); any capacity still left then
+// grows running jobs toward their limits by largest sampled utilization
+// gain.
+func fill(s *cluster.Schedule, ctx *Context) {
+	for {
+		idle := s.IdleGPUs()
+		if len(idle) == 0 {
+			return
+		}
+		opt := bestFillOption(s, ctx, len(idle))
+		if opt == nil {
+			return
+		}
+		info := ctx.Jobs[opt.job]
+		gpus := append(s.GPUsOf(opt.job), idle[:opt.gpus]...)
+		assign(s, info, gpus, opt.batch)
+	}
+}
+
+// bestFillOption returns the next fill action: the waiting job with the
+// least sampled remaining work if any can start, else the growth with the
+// largest sampled gain, else nil.
+func bestFillOption(s *cluster.Schedule, ctx *Context, idle int) *fillOption {
+	var bestResume, bestGrow *fillOption
+	for _, id := range ctx.sortedIDs() {
+		info := ctx.Jobs[id]
+		opt := expandOption(s, ctx, info, idle)
+		if opt == nil {
+			continue
+		}
+		rho := info.Dist.Sample(ctx.Rng)
+		work := remainingWork(info, rho)
+		if opt.resume {
+			opt.score *= work // remaining seconds at the resume rate
+			if bestResume == nil || opt.score < bestResume.score {
+				bestResume = opt
+			}
+		} else {
+			opt.score *= work // throughput gain weighted by remaining work
+			if opt.score > 0 && (bestGrow == nil || opt.score > bestGrow.score) {
+				bestGrow = opt
+			}
+		}
+	}
+	if bestResume != nil {
+		return bestResume
+	}
+	return bestGrow
+}
+
+// expandOption builds the expansion candidate for one job, or nil when the
+// job cannot use more resources.
+func expandOption(s *cluster.Schedule, ctx *Context, info *JobInfo, idle int) *fillOption {
+	c := s.GPUCount(info.ID)
+	B := s.GlobalBatch(info.ID)
+	if c == 0 {
+		// Waiting job: resume on one GPU within its limit. Its added
+		// utilization is its whole remaining footprint at that rate.
+		batch := info.effLimit()
+		if batch > info.MaxPerGPU {
+			batch = info.MaxPerGPU
+		}
+		if batch < 1 {
+			batch = 1
+		}
+		x := ctx.Throughput(info.ID, batch, 1, 1)
+		if x <= 0 {
+			return nil
+		}
+		return &fillOption{job: info.ID, gpus: 1, batch: batch, resume: true, score: 1 / x}
+	}
+	limit := info.effLimit()
+	if B >= limit {
+		return nil // already at the limit
+	}
+	// Running job: grow to R_j with ⌊R·c/B⌋ − c extra GPUs (Figure 7).
+	newC := limit * c / B
+	extra := newC - c
+	if extra < 1 {
+		return nil
+	}
+	if extra > idle {
+		extra = idle
+		newC = c + extra
+	}
+	newB := limit
+	if maxB := newC * info.MaxPerGPU; newB > maxB {
+		newB = maxB
+	}
+	servers := ctx.Topo.Servers
+	if servers > 1 && newC <= ctx.Topo.GPUsPerServer {
+		servers = 1
+	}
+	// Growth utility: absolute throughput gained per added GPU. Growth
+	// that does not increase throughput is pointless — skip it.
+	oldX := ctx.throughputOf(s, info.ID)
+	newX := ctx.Throughput(info.ID, newB, newC, servers)
+	if newX <= oldX || newX <= 0 {
+		return nil
+	}
+	gain := (newX - oldX) / float64(extra)
+	return &fillOption{job: info.ID, gpus: extra, batch: newB, score: gain}
+}
+
+// Refresh applies the paper's refresh operation to a clone of s: clean up
+// completed jobs, enforce limits, allocate new jobs preferentially (taking
+// GPUs from the longest-running jobs if needed), then fill idle GPUs.
+func Refresh(s *cluster.Schedule, ctx *Context) *cluster.Schedule {
+	out := s.Clone()
+	normalize(out, ctx)
+	allocateNewJobs(out, ctx)
+	fill(out, ctx)
+	return out
+}
+
+// allocateNewJobs gives each never-scheduled job one GPU (refresh step 3).
+// When too few GPUs are idle, GPUs are taken from the jobs with the
+// largest T_processed to avoid starving new arrivals.
+func allocateNewJobs(s *cluster.Schedule, ctx *Context) {
+	var pending []*JobInfo
+	for _, id := range ctx.NewJobs {
+		info, ok := ctx.Jobs[id]
+		if !ok || s.IsRunning(id) {
+			continue
+		}
+		pending = append(pending, info)
+	}
+	if len(pending) == 0 {
+		return
+	}
+	need := len(pending) - s.NumIdle()
+	for need > 0 {
+		victim := longestRunning(s, ctx)
+		if victim == cluster.NoJob {
+			break
+		}
+		shrinkByOne(s, ctx, victim)
+		need--
+	}
+	idle := s.IdleGPUs()
+	for i, info := range pending {
+		if i >= len(idle) {
+			break
+		}
+		batch := info.effLimit()
+		if batch > info.MaxPerGPU {
+			batch = info.MaxPerGPU
+		}
+		assign(s, info, idle[i:i+1], batch)
+	}
+}
+
+// longestRunning returns the running job with the largest processed time,
+// or NoJob when the schedule is empty.
+func longestRunning(s *cluster.Schedule, ctx *Context) cluster.JobID {
+	best := cluster.NoJob
+	var bestT float64 = -1
+	for _, j := range s.RunningJobs() {
+		info, ok := ctx.Jobs[j]
+		if !ok {
+			continue
+		}
+		if info.ProcessedTime > bestT {
+			bestT = info.ProcessedTime
+			best = j
+		}
+	}
+	return best
+}
+
+// shrinkByOne removes one GPU from job j, re-spreading its batch; a
+// single-GPU job is evicted entirely (it becomes waiting).
+func shrinkByOne(s *cluster.Schedule, ctx *Context, j cluster.JobID) {
+	gpus := s.GPUsOf(j)
+	if len(gpus) <= 1 {
+		s.Evict(j)
+		return
+	}
+	info := ctx.Jobs[j]
+	B := s.GlobalBatch(j)
+	keep := gpus[:len(gpus)-1]
+	s.Clear(gpus[len(gpus)-1])
+	newB := B * len(keep) / len(gpus)
+	assign(s, info, keep, newB)
+}
+
+// Crossover performs the uniform crossover of Figure 8 on clones of the
+// parents: on each GPU, one child inherits parent A's gene and the other
+// parent B's, with the orientation chosen by an independent fair coin.
+// Children are normalized and filled so they remain feasible.
+func Crossover(a, b *cluster.Schedule, ctx *Context) (*cluster.Schedule, *cluster.Schedule) {
+	c1, c2 := a.Clone(), b.Clone()
+	for g := 0; g < c1.NumGPUs(); g++ {
+		if ctx.Rng.Intn(2) == 0 {
+			continue
+		}
+		ga := a.Slot(cluster.GPUID(g))
+		gb := b.Slot(cluster.GPUID(g))
+		c1.SetSlot(cluster.GPUID(g), gb.Job, gb.Batch)
+		c2.SetSlot(cluster.GPUID(g), ga.Job, ga.Batch)
+	}
+	normalize(c1, ctx)
+	normalize(c2, ctx)
+	fill(c1, ctx)
+	fill(c2, ctx)
+	return c1, c2
+}
+
+// Mutate applies the uniform mutation of Figure 9 to a clone of s: every
+// running job is preempted with probability theta and the freed GPUs are
+// refilled with waiting or other running jobs.
+func Mutate(s *cluster.Schedule, ctx *Context, theta float64) *cluster.Schedule {
+	out := s.Clone()
+	for _, j := range out.RunningJobs() {
+		if ctx.Rng.Float64() < theta {
+			out.Evict(j)
+		}
+	}
+	normalize(out, ctx)
+	fill(out, ctx)
+	return out
+}
+
+// Engine runs the iterative evolution loop of Figure 5.
+type Engine struct {
+	// K is the population size; the paper suggests matching the cluster's
+	// GPU count.
+	K int
+	// Theta is the per-job mutation (preemption) probability.
+	Theta float64
+	// Parallelism is the number of goroutines generating and scoring
+	// candidates (≤1 ⇒ serial). Parallel iteration stays deterministic:
+	// each candidate's randomness comes from a seed drawn serially from
+	// the context RNG before the fan-out, and ties in the final ranking
+	// break by candidate index.
+	Parallelism int
+	// DisableReorder turns off the reorder operator (ablation switch).
+	DisableReorder bool
+	// DisableSampling scores with distribution means instead of Beta
+	// draws (ablation switch).
+	DisableSampling bool
+
+	pop []*cluster.Schedule
+}
+
+// NewEngine returns an engine with population size k and mutation rate
+// theta.
+func NewEngine(k int, theta float64) *Engine {
+	if k < 1 {
+		k = 1
+	}
+	return &Engine{K: k, Theta: theta}
+}
+
+// Population exposes the current population (read-only use).
+func (e *Engine) Population() []*cluster.Schedule { return e.pop }
+
+// Init seeds the population with K refreshed-empty schedules. Because fill
+// draws random progress samples, the initial population is diverse even
+// though every member starts from the empty genome.
+func (e *Engine) Init(ctx *Context) {
+	e.pop = e.pop[:0]
+	for i := 0; i < e.K; i++ {
+		e.pop = append(e.pop, Refresh(cluster.NewSchedule(ctx.Topo), ctx))
+	}
+}
+
+// Iterate runs one evolution round: derive candidates from the current
+// population with the four operators, select the best K by sampled score,
+// and return the champion S*.
+func (e *Engine) Iterate(ctx *Context) *cluster.Schedule {
+	if len(e.pop) == 0 {
+		e.Init(ctx)
+	}
+	// Describe every candidate generation serially (parent choices and a
+	// dedicated RNG seed come from the master RNG) so the fan-out below is
+	// free to run in any order.
+	type task struct {
+		kind int // 0 refresh, 1 crossover pair, 2 mutate
+		a, b *cluster.Schedule
+		seed int64
+		outA int // candidate slot(s)
+		outB int
+	}
+	nCand := len(e.pop) + 2*e.K + e.K
+	tasks := make([]task, 0, len(e.pop)+e.K+e.K)
+	slot := 0
+	for _, s := range e.pop {
+		tasks = append(tasks, task{kind: 0, a: s, seed: ctx.Rng.Int63(), outA: slot})
+		slot++
+	}
+	for i := 0; i < e.K; i++ {
+		a := e.pop[ctx.Rng.Intn(len(e.pop))]
+		b := e.pop[ctx.Rng.Intn(len(e.pop))]
+		tasks = append(tasks, task{kind: 1, a: a, b: b, seed: ctx.Rng.Int63(), outA: slot, outB: slot + 1})
+		slot += 2
+	}
+	for i := 0; i < e.K; i++ {
+		a := e.pop[ctx.Rng.Intn(len(e.pop))]
+		tasks = append(tasks, task{kind: 2, a: a, seed: ctx.Rng.Int63(), outA: slot})
+		slot++
+	}
+	candidates := make([]*cluster.Schedule, nCand)
+	runTask := func(t task) {
+		sub := *ctx
+		sub.Rng = rand.New(rand.NewSource(t.seed))
+		switch t.kind {
+		case 0:
+			candidates[t.outA] = Refresh(t.a, &sub)
+		case 1:
+			c1, c2 := Crossover(t.a, t.b, &sub)
+			candidates[t.outA], candidates[t.outB] = c1, c2
+		default:
+			candidates[t.outA] = Mutate(t.a, &sub, e.Theta)
+		}
+		if !e.DisableReorder {
+			candidates[t.outA].Reorder()
+			if t.kind == 1 {
+				candidates[t.outB].Reorder()
+			}
+		}
+	}
+	e.forEach(len(tasks), func(i int) { runTask(tasks[i]) })
+
+	// Selection: score all candidates against one set of progress draws,
+	// keep the best K.
+	rhos := e.progressDraws(ctx)
+	scores := make([]float64, nCand)
+	e.forEach(nCand, func(i int) { scores[i] = Score(candidates[i], ctx, rhos) })
+	order := make([]int, nCand)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, k int) bool { return scores[order[i]] < scores[order[k]] })
+	keep := e.K
+	if keep > nCand {
+		keep = nCand
+	}
+	next := make([]*cluster.Schedule, keep)
+	for i := 0; i < keep; i++ {
+		next[i] = candidates[order[i]]
+	}
+	e.pop = next
+	return e.pop[0]
+}
+
+// forEach runs fn over [0, n) — serially, or on Parallelism goroutines.
+func (e *Engine) forEach(n int, fn func(i int)) {
+	if e.Parallelism <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	workers := e.Parallelism
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	var next int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// progressDraws returns ρ samples (or distribution means under the
+// sampling ablation).
+func (e *Engine) progressDraws(ctx *Context) map[cluster.JobID]float64 {
+	if !e.DisableSampling {
+		return SampleRhos(ctx)
+	}
+	rhos := make(map[cluster.JobID]float64, len(ctx.Jobs))
+	for id, info := range ctx.Jobs {
+		m := info.Dist.Mean()
+		if m <= 0 {
+			m = 1e-6
+		} else if m >= 1 {
+			m = 1 - 1e-6
+		}
+		rhos[id] = m
+	}
+	return rhos
+}
+
+// Best returns the current champion (lowest sampled score) without
+// evolving, or nil for an empty population.
+func (e *Engine) Best(ctx *Context) *cluster.Schedule {
+	if len(e.pop) == 0 {
+		return nil
+	}
+	rhos := e.progressDraws(ctx)
+	best := e.pop[0]
+	bestScore := Score(best, ctx, rhos)
+	for _, s := range e.pop[1:] {
+		if sc := Score(s, ctx, rhos); sc < bestScore {
+			best, bestScore = s, sc
+		}
+	}
+	return best
+}

@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/simulator"
+)
+
+// WriteJobsCSV emits one row per completed job across all results, ready
+// for external plotting of the Figure 15 distributions:
+//
+//	scheduler,job,task,submit,start,done,jct,exec,queue
+func WriteJobsCSV(w io.Writer, results []*simulator.Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{"scheduler", "job", "task", "submit", "start", "done", "jct", "exec", "queue"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("metrics: csv header: %w", err)
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+	for _, r := range results {
+		for _, j := range r.Jobs {
+			row := []string{
+				r.Scheduler,
+				strconv.Itoa(int(j.ID)),
+				j.Name,
+				f(j.Submit), f(j.Start), f(j.Done), f(j.JCT), f(j.Exec), f(j.Queue),
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("metrics: csv row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteEventsCSV emits the scheduling event log of one result:
+//
+//	time,kind,job,gpus,batch
+func WriteEventsCSV(w io.Writer, res *simulator.Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time", "kind", "job", "gpus", "batch"}); err != nil {
+		return fmt.Errorf("metrics: csv header: %w", err)
+	}
+	for _, ev := range res.Events {
+		row := []string{
+			strconv.FormatFloat(ev.Time, 'f', 3, 64),
+			string(ev.Kind),
+			strconv.Itoa(int(ev.Job)),
+			strconv.Itoa(ev.GPUs),
+			strconv.Itoa(ev.Batch),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("metrics: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

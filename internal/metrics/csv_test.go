@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/simulator"
+)
+
+func TestWriteJobsCSV(t *testing.T) {
+	rs := []*simulator.Result{
+		fakeResult("ONES", []float64{100, 200}, []float64{80, 150}),
+		fakeResult("FIFO", []float64{300}, []float64{250}),
+	}
+	rs[0].Jobs[0].Name = "resnet50-imagenet-10k"
+	var b strings.Builder
+	if err := WriteJobsCSV(&b, rs); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + 3 jobs
+		t.Fatalf("csv has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "scheduler,job,task") {
+		t.Errorf("header wrong: %s", lines[0])
+	}
+	if !strings.Contains(out, "resnet50-imagenet-10k") {
+		t.Error("task name missing")
+	}
+	if !strings.Contains(lines[3], "FIFO") {
+		t.Errorf("second scheduler missing: %s", lines[3])
+	}
+}
+
+func TestWriteEventsCSV(t *testing.T) {
+	res := &simulator.Result{
+		Scheduler: "ONES",
+		Events: []simulator.Event{
+			{Time: 1.5, Kind: simulator.EventArrive, Job: 0},
+			{Time: 1.5, Kind: simulator.EventStart, Job: 0, GPUs: 1, Batch: 256},
+			{Time: 9.0, Kind: simulator.EventRescale, Job: 0, GPUs: 2, Batch: 512},
+		},
+	}
+	var b strings.Builder
+	if err := WriteEventsCSV(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv has %d lines", len(lines))
+	}
+	if !strings.Contains(lines[3], "rescale") || !strings.Contains(lines[3], "512") {
+		t.Errorf("rescale row wrong: %s", lines[3])
+	}
+}
+
+func TestWriteEventsCSVEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WriteEventsCSV(&b, &simulator.Result{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(b.String()); got != "time,kind,job,gpus,batch" {
+		t.Errorf("empty log csv = %q", got)
+	}
+}

@@ -1,0 +1,260 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func newTestTrainer(t *testing.T, batch int, lrScaled bool) *Trainer {
+	t.Helper()
+	tr, err := NewTrainer(CIFARResNet50(), 40000, batch, lrScaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewTrainerValidation(t *testing.T) {
+	p := CIFARResNet50()
+	if _, err := NewTrainer(p, 0, 256, true); err == nil {
+		t.Error("zero dataset accepted")
+	}
+	if _, err := NewTrainer(p, 1000, 0, true); err == nil {
+		t.Error("zero batch accepted")
+	}
+	bad := p
+	bad.MaxPerGPU = 0
+	if _, err := NewTrainer(bad, 1000, 256, true); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}
+
+func TestTrainerConvergesNearPredictedEpochs(t *testing.T) {
+	tr := newTestTrainer(t, 256, true)
+	want := EpochsToTarget(tr.Profile(), 256, true) + ConvergedEpochs
+	var epochs int
+	for !tr.Converged() && epochs < 10000 {
+		tr.AdvanceEpoch()
+		epochs++
+	}
+	if !tr.Converged() {
+		t.Fatal("trainer never converged")
+	}
+	if math.Abs(float64(epochs)-want) > 2 {
+		t.Errorf("converged after %d epochs, analytic prediction %v", epochs, want)
+	}
+}
+
+func TestTrainerMonotoneProgress(t *testing.T) {
+	tr := newTestTrainer(t, 256, true)
+	prevLoss := math.Inf(1)
+	prevAcc := -1.0
+	for i := 0; i < 30; i++ {
+		tr.AdvanceEpoch()
+		if l := tr.Loss(); l >= prevLoss {
+			t.Fatalf("loss should decrease monotonically without rescale: %v -> %v", prevLoss, l)
+		} else {
+			prevLoss = l
+		}
+		if a := tr.Accuracy(); a <= prevAcc {
+			t.Fatalf("accuracy should increase monotonically: %v -> %v", prevAcc, a)
+		} else {
+			prevAcc = a
+		}
+	}
+}
+
+func TestTrainerAbruptRescaleSpikesLoss(t *testing.T) {
+	// Figure 13: scale 256 -> 4096 at epoch 30 causes a loss spike that
+	// takes several epochs to recover.
+	tr := newTestTrainer(t, 256, true)
+	for i := 0; i < 30; i++ {
+		tr.AdvanceEpoch()
+	}
+	before := tr.Loss()
+	tr.SetBatch(4096)
+	after := tr.Loss()
+	if after <= before+0.2 {
+		t.Fatalf("abrupt 16x rescale should spike loss: %v -> %v", before, after)
+	}
+	// Recovery takes more than a couple of epochs.
+	tr.AdvanceEpoch()
+	tr.AdvanceEpoch()
+	if tr.Loss() <= before {
+		t.Errorf("loss recovered suspiciously fast after spike")
+	}
+	// But eventually decays back below the pre-spike level.
+	for i := 0; i < 40; i++ {
+		tr.AdvanceEpoch()
+	}
+	if tr.Loss() >= before {
+		t.Errorf("loss never recovered: %v >= %v", tr.Loss(), before)
+	}
+}
+
+func TestTrainerGradualRescaleIsSmooth(t *testing.T) {
+	// Figure 14: 256 -> 1024 -> 4096 in steps of 4x stays smooth.
+	tr := newTestTrainer(t, 256, true)
+	for i := 0; i < 30; i++ {
+		tr.AdvanceEpoch()
+	}
+	before := tr.Loss()
+	tr.SetBatch(1024) // 4x = AbruptFactor boundary, still gradual
+	if got := tr.Loss(); got > before+1e-9 {
+		t.Errorf("gradual rescale spiked loss: %v -> %v", before, got)
+	}
+	for i := 0; i < 30; i++ {
+		tr.AdvanceEpoch()
+	}
+	before = tr.Loss()
+	tr.SetBatch(4096)
+	if got := tr.Loss(); got > before+1e-9 {
+		t.Errorf("second gradual rescale spiked loss: %v -> %v", before, got)
+	}
+}
+
+func TestTrainerAbruptRescaleDelaysConvergence(t *testing.T) {
+	run := func(abrupt bool) int {
+		tr := newTestTrainer(t, 256, true)
+		epochs := 0
+		for !tr.Converged() && epochs < 10000 {
+			if abrupt && epochs == 10 {
+				tr.SetBatch(8192)
+				tr.SetBatch(256) // bounce back: progress was lost either way
+			}
+			tr.AdvanceEpoch()
+			epochs++
+		}
+		return epochs
+	}
+	smooth := run(false)
+	spiked := run(true)
+	if spiked <= smooth {
+		t.Errorf("abrupt rescale should delay convergence: smooth=%d spiked=%d", smooth, spiked)
+	}
+}
+
+func TestTrainerProcessedAccounting(t *testing.T) {
+	tr := newTestTrainer(t, 256, true)
+	tr.AdvanceSamples(100)
+	if got := tr.Processed(); got != 100 {
+		t.Errorf("Processed = %d, want 100", got)
+	}
+	tr.AdvanceSamples(int64(tr.DatasetSize()))
+	if got := tr.Processed(); got != int64(tr.DatasetSize())+100 {
+		t.Errorf("Processed = %d, want %d", got, tr.DatasetSize()+100)
+	}
+	wantEpochs := float64(tr.Processed()) / float64(tr.DatasetSize())
+	if math.Abs(tr.WallEpochs()-wantEpochs) > 1e-6 {
+		t.Errorf("WallEpochs = %v, want %v", tr.WallEpochs(), wantEpochs)
+	}
+}
+
+func TestTrainerPartialEpochsCrossBoundaries(t *testing.T) {
+	tr := newTestTrainer(t, 256, true)
+	third := int64(tr.DatasetSize() / 4)
+	for i := 0; i < 8; i++ { // two full epochs in quarters
+		tr.AdvanceSamples(third)
+	}
+	if math.Abs(tr.WallEpochs()-2) > 1e-9 {
+		t.Errorf("WallEpochs = %v, want 2", tr.WallEpochs())
+	}
+}
+
+func TestTrainerRemainingSamplesShrinks(t *testing.T) {
+	tr := newTestTrainer(t, 256, true)
+	prev := tr.RemainingSamples(256)
+	for i := 0; i < 20; i++ {
+		tr.AdvanceEpoch()
+		cur := tr.RemainingSamples(256)
+		if cur >= prev {
+			t.Fatalf("remaining samples should shrink: %v -> %v", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestTrainerRemainingSamplesZeroAfterConvergence(t *testing.T) {
+	tr := newTestTrainer(t, 256, true)
+	for !tr.Converged() {
+		tr.AdvanceEpoch()
+	}
+	if got := tr.RemainingSamples(256); got != 0 {
+		t.Errorf("RemainingSamples after convergence = %v, want 0", got)
+	}
+	if got := tr.TrueProgress(); got != 1 {
+		t.Errorf("TrueProgress after convergence = %v, want 1", got)
+	}
+}
+
+func TestTrainerTrueProgressInUnitInterval(t *testing.T) {
+	f := func(seed uint8) bool {
+		tr, err := NewTrainer(CIFARResNet50(), 40000, 256, true)
+		if err != nil {
+			return false
+		}
+		steps := int(seed)%50 + 1
+		for i := 0; i < steps && !tr.Converged(); i++ {
+			tr.AdvanceEpoch()
+			p := tr.TrueProgress()
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrainerSetBatchIgnoresDegenerate(t *testing.T) {
+	tr := newTestTrainer(t, 256, true)
+	tr.SetBatch(0)
+	if tr.Batch() != 256 {
+		t.Error("SetBatch(0) changed batch")
+	}
+	tr.SetBatch(-5)
+	if tr.Batch() != 256 {
+		t.Error("SetBatch(-5) changed batch")
+	}
+	tr.SetBatch(256) // no-op must not spike
+	if tr.Loss() != LossAt(tr.Profile(), 0, 0) {
+		t.Error("no-op SetBatch affected loss")
+	}
+}
+
+func TestTrainerLossRatioBounds(t *testing.T) {
+	tr := newTestTrainer(t, 256, true)
+	if got := tr.LossRatio(); got != 0 {
+		t.Errorf("initial LossRatio = %v, want 0", got)
+	}
+	for i := 0; i < 50; i++ {
+		tr.AdvanceEpoch()
+	}
+	r := tr.LossRatio()
+	if r <= 0 || r >= 1 {
+		t.Errorf("LossRatio after training = %v, want in (0,1)", r)
+	}
+}
+
+func TestTrainerLargerBatchConvergesInFewerWallClockSteps(t *testing.T) {
+	// The point of elastic batching: at batch 2048 with LR scaling the job
+	// needs roughly the same number of epochs, i.e. far fewer steps, so a
+	// well-placed large-batch job finishes faster in wall-clock.
+	small := newTestTrainer(t, 256, true)
+	large := newTestTrainer(t, 2048, true)
+	epochsSmall, epochsLarge := 0, 0
+	for !small.Converged() {
+		small.AdvanceEpoch()
+		epochsSmall++
+	}
+	for !large.Converged() {
+		large.AdvanceEpoch()
+		epochsLarge++
+	}
+	if diff := math.Abs(float64(epochsSmall - epochsLarge)); diff > 3 {
+		t.Errorf("LR-scaled epochs should match: small=%d large=%d", epochsSmall, epochsLarge)
+	}
+}

@@ -1,0 +1,288 @@
+package runtime
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func testSpec() Spec {
+	return Spec{
+		Name:        "test-job",
+		ParamCount:  4096,
+		GlobalBatch: 256,
+		LR:          0.1,
+		Momentum:    0.9,
+		DatasetSize: 10000,
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := testSpec()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, mutate := range []func(*Spec){
+		func(s *Spec) { s.ParamCount = 0 },
+		func(s *Spec) { s.GlobalBatch = 0 },
+		func(s *Spec) { s.LR = 0 },
+		func(s *Spec) { s.DatasetSize = 0 },
+	} {
+		bad := testSpec()
+		mutate(&bad)
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid spec accepted: %+v", bad)
+		}
+	}
+}
+
+func TestStartValidation(t *testing.T) {
+	if _, err := Start(Spec{}, 2); err == nil {
+		t.Error("zero spec accepted")
+	}
+	if _, err := Start(testSpec(), 0); err == nil {
+		t.Error("zero workers accepted")
+	}
+}
+
+func TestTrainingMakesProgress(t *testing.T) {
+	j, err := Start(testSpec(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Stop()
+	time.Sleep(50 * time.Millisecond)
+	j.Pause()
+	steps := j.Steps()
+	loss := j.Loss()
+	if steps == 0 {
+		t.Fatal("no steps executed")
+	}
+	if err := j.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	j.Pause()
+	if j.Steps() <= steps {
+		t.Errorf("steps did not advance after resume: %d -> %d", steps, j.Steps())
+	}
+	// The synthetic objective can converge to exactly zero within the
+	// sleep window; only require monotone non-increase then.
+	if after := j.Loss(); after > loss || (loss > 1e-6 && after >= loss) {
+		t.Errorf("loss did not decrease: %v -> %v", loss, after)
+	}
+}
+
+func TestWorkersStayConsistent(t *testing.T) {
+	j, err := Start(testSpec(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Stop()
+	time.Sleep(30 * time.Millisecond)
+	j.Pause()
+	digests := j.ParamsDigest()
+	for i := 1; i < len(digests); i++ {
+		if math.Abs(digests[i]-digests[0]) > 1e-3 {
+			t.Fatalf("worker %d diverged: %v vs %v", i, digests[i], digests[0])
+		}
+	}
+}
+
+func TestRescaleElasticGrow(t *testing.T) {
+	j, err := Start(testSpec(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Stop()
+	time.Sleep(20 * time.Millisecond)
+	d, err := j.RescaleElastic(4, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Errorf("rescale duration %v", d)
+	}
+	if j.Workers() != 4 || j.GlobalBatch() != 512 {
+		t.Errorf("after grow: %d workers batch %d", j.Workers(), j.GlobalBatch())
+	}
+	time.Sleep(20 * time.Millisecond)
+	j.Pause()
+	digests := j.ParamsDigest()
+	for i := 1; i < 4; i++ {
+		if math.Abs(digests[i]-digests[0]) > 1e-3 {
+			t.Fatalf("joiner %d inconsistent after elastic grow", i)
+		}
+	}
+}
+
+func TestRescaleElasticShrink(t *testing.T) {
+	j, err := Start(testSpec(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Stop()
+	time.Sleep(20 * time.Millisecond)
+	if _, err := j.RescaleElastic(1, 128); err != nil {
+		t.Fatal(err)
+	}
+	if j.Workers() != 1 {
+		t.Errorf("after shrink: %d workers", j.Workers())
+	}
+	time.Sleep(20 * time.Millisecond)
+	j.Pause()
+	if j.Steps() == 0 {
+		t.Error("single worker stopped training after shrink")
+	}
+}
+
+func TestRescaleElasticPreservesProgress(t *testing.T) {
+	j, err := Start(testSpec(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Stop()
+	time.Sleep(40 * time.Millisecond)
+	j.Pause()
+	stepsBefore := j.Steps()
+	lossBefore := j.Loss()
+	if err := j.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.RescaleElastic(3, 384); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(40 * time.Millisecond)
+	j.Pause()
+	if j.Steps() <= stepsBefore {
+		t.Error("steps lost across elastic rescale")
+	}
+	if after := j.Loss(); after > lossBefore || (lossBefore > 1e-6 && after >= lossBefore) {
+		t.Errorf("loss regressed across elastic rescale: %v -> %v", lossBefore, after)
+	}
+}
+
+func TestRescaleCheckpointPreservesState(t *testing.T) {
+	j, err := Start(testSpec(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Stop()
+	time.Sleep(40 * time.Millisecond)
+	j.Pause()
+	stepsBefore := j.Steps()
+	if err := j.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := j.RescaleCheckpoint(4, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Errorf("checkpoint rescale duration %v", d)
+	}
+	if j.Workers() != 4 {
+		t.Errorf("workers = %d", j.Workers())
+	}
+	time.Sleep(20 * time.Millisecond)
+	j.Pause()
+	if j.Steps() <= stepsBefore {
+		t.Error("checkpoint restart lost step counter")
+	}
+	digests := j.ParamsDigest()
+	for i := 1; i < 4; i++ {
+		if math.Abs(digests[i]-digests[0]) > 1e-3 {
+			t.Fatalf("worker %d inconsistent after checkpoint restart", i)
+		}
+	}
+}
+
+func TestElasticCheaperThanCheckpoint(t *testing.T) {
+	// The Figure 16 claim at mini-cluster scale: the elastic path
+	// interrupts training for far less time than save/teardown/restart.
+	// Use a beefier model so serialization cost dominates noise.
+	spec := testSpec()
+	spec.ParamCount = 1 << 20 // 4 MB of parameters
+	spec.DatasetSize = 1 << 20
+
+	var elastic, checkpoint time.Duration
+	const rounds = 3
+	for i := 0; i < rounds; i++ {
+		j, err := Start(spec, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond)
+		d, err := j.RescaleElastic(4, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		elastic += d
+		j.Stop()
+
+		j2, err := Start(spec, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond)
+		d2, err := j2.RescaleCheckpoint(4, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkpoint += d2
+		j2.Stop()
+	}
+	if checkpoint <= elastic {
+		t.Errorf("checkpoint rescale (%v) should cost more than elastic (%v)", checkpoint, elastic)
+	}
+}
+
+func TestOpsOnStoppedJobFail(t *testing.T) {
+	j, err := Start(testSpec(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Stop()
+	j.Stop() // idempotent
+	if _, err := j.RescaleElastic(3, 256); err == nil {
+		t.Error("rescale of stopped job accepted")
+	}
+	if _, err := j.RescaleCheckpoint(3, 256); err == nil {
+		t.Error("checkpoint rescale of stopped job accepted")
+	}
+	if err := j.Resume(); err == nil {
+		t.Error("resume of stopped job accepted")
+	}
+	if j.Steps() != 0 || j.Loss() != 0 {
+		t.Error("stopped job should report zero state")
+	}
+}
+
+func TestRescaleRejectsDegenerateArgs(t *testing.T) {
+	j, err := Start(testSpec(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Stop()
+	if _, err := j.RescaleElastic(0, 256); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if _, err := j.RescaleElastic(2, 0); err == nil {
+		t.Error("zero batch accepted")
+	}
+}
+
+func TestDoublePauseAndStopAfterPause(t *testing.T) {
+	j, err := Start(testSpec(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	j.Pause()
+	j.Pause() // must be a no-op, not a deadlock
+	if err := j.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	j.Pause()
+	j.Stop() // stop of an already-paused job must not hang
+}

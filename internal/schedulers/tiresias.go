@@ -1,0 +1,103 @@
+package schedulers
+
+import (
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/simulator"
+)
+
+// Tiresias reproduces the Tiresias baseline (NSDI '19) as characterized in
+// the paper's Table 3: a greedy scheduler with preemption but fixed job
+// sizes and fixed batch sizes. Jobs live in a discretized multi-level
+// feedback queue ordered by attained GPU service (the Least Attained
+// Service policy): jobs that have consumed little GPU time get priority,
+// which approximates shortest-remaining-first without any job-length
+// prediction. Preemption uses checkpoint-based migration.
+type Tiresias struct {
+	// QueueThresholds are the attained-service boundaries (GPU-seconds)
+	// between priority queues; a job's queue is the number of thresholds
+	// it has crossed.
+	QueueThresholds []float64
+}
+
+// NewTiresias returns a two-queue Tiresias with the default promotion
+// threshold.
+func NewTiresias() *Tiresias {
+	return &Tiresias{QueueThresholds: []float64{2000}}
+}
+
+// Name implements simulator.Scheduler.
+func (t *Tiresias) Name() string { return "Tiresias" }
+
+// TickInterval implements simulator.Scheduler: Tiresias reacts to events.
+func (t *Tiresias) TickInterval() float64 { return 0 }
+
+// CostKind implements simulator.Scheduler: preemption goes through
+// checkpoints.
+func (t *Tiresias) CostKind() simulator.CostKind { return simulator.CostCheckpoint }
+
+// ManagesLR implements simulator.Scheduler: Tiresias treats jobs as black
+// boxes (Table 3), so large user-configured batches keep the user's LR.
+func (t *Tiresias) ManagesLR() bool { return false }
+
+// queueOf returns the job's priority queue index (0 = highest priority).
+func (t *Tiresias) queueOf(j simulator.JobView) int {
+	attained := j.ExecTime * float64(j.GPUs)
+	if !j.Running {
+		attained = j.ExecTime // frozen service while waiting
+	}
+	q := 0
+	for _, th := range t.QueueThresholds {
+		if attained >= th {
+			q++
+		}
+	}
+	return q
+}
+
+// Decide implements simulator.Scheduler: recompute the desired running set
+// in (queue, arrival) priority order with gang semantics, preempting
+// lower-priority jobs when a higher-priority one needs their GPUs.
+func (t *Tiresias) Decide(trigger simulator.Trigger, view *simulator.View) *cluster.Schedule {
+	jobs := append([]simulator.JobView(nil), view.Jobs...)
+	sort.SliceStable(jobs, func(i, k int) bool {
+		qi, qk := t.queueOf(jobs[i]), t.queueOf(jobs[k])
+		if qi != qk {
+			return qi < qk
+		}
+		return jobs[i].Submit < jobs[k].Submit
+	})
+	// Admit greedily in priority order with the fixed requested size.
+	capacity := view.Topo.TotalGPUs()
+	admit := make(map[cluster.JobID]bool, len(jobs))
+	for _, j := range jobs {
+		if j.ReqGPUs <= capacity {
+			admit[j.ID] = true
+			capacity -= j.ReqGPUs
+		}
+	}
+	// Keep currently running admitted jobs in place; evict the rest;
+	// place newly admitted ones into freed slots.
+	s := view.Current.Clone()
+	changed := false
+	for _, j := range view.Jobs {
+		if j.Running && !admit[j.ID] {
+			s.Evict(j.ID)
+			changed = true
+		}
+	}
+	for _, j := range jobs {
+		if !admit[j.ID] || s.IsRunning(j.ID) {
+			continue
+		}
+		batch := clampBatchToMemory(j.ReqGPUs, j.ReqBatch, j.Task.Profile.MaxPerGPU)
+		if placeGang(s, j.ID, j.ReqGPUs, batch) {
+			changed = true
+		}
+	}
+	if !changed {
+		return nil
+	}
+	return s
+}

@@ -1,0 +1,705 @@
+// Package simulator is the discrete-event substitute for the paper's
+// 64-GPU testbed. It replays a workload trace against a pluggable
+// scheduler: jobs arrive, train (through perfmodel trainers), report at
+// epoch boundaries, get rescaled or preempted when the scheduler deploys a
+// new schedule, pay the appropriate reconfiguration cost (elastic batch
+// scaling vs checkpoint-based migration), and complete when their model
+// converges. Per-job completion, execution and queuing times come out the
+// other end — the raw material of Figures 15, 17 and 18.
+package simulator
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/perfmodel"
+	"repro/internal/scaling"
+	"repro/internal/workload"
+)
+
+// CostKind selects how a scheduler pays for reconfigurations.
+type CostKind int
+
+// Reconfiguration cost modes.
+const (
+	// CostElastic is ONES's checkpoint-free scaling (§3.3).
+	CostElastic CostKind = iota
+	// CostCheckpoint is conventional stop-save-restart migration.
+	CostCheckpoint
+)
+
+// JobView is the scheduler-visible state of one alive job. It contains
+// only observable quantities — no oracle knowledge of remaining work.
+type JobView struct {
+	ID       cluster.JobID
+	Submit   float64
+	Task     workload.Task
+	ReqGPUs  int
+	ReqBatch int
+
+	Running    bool
+	GPUs       int
+	Batch      int
+	Processed  int64
+	WallEpochs float64
+	Loss       float64
+	Accuracy   float64
+	ExecTime   float64 // accumulated seconds holding GPUs
+	QueueTime  float64 // accumulated seconds waiting without GPUs
+}
+
+// View is the cluster snapshot handed to a scheduler at each decision
+// point.
+type View struct {
+	Now     float64
+	Topo    cluster.Topology
+	Jobs    []JobView         // alive jobs, ascending ID
+	Current *cluster.Schedule // deployed schedule (clone; mutations ignored)
+
+	// Throughput is the measured-throughput oracle: schedulers in the
+	// paper profile real-time throughput on the workers, which amounts to
+	// evaluating the true performance model.
+	Throughput func(id cluster.JobID, B, c, servers int) float64
+}
+
+// JobOf returns the view of the given job, or nil.
+func (v *View) JobOf(id cluster.JobID) *JobView {
+	for i := range v.Jobs {
+		if v.Jobs[i].ID == id {
+			return &v.Jobs[i]
+		}
+	}
+	return nil
+}
+
+// Trigger describes why the scheduler is being consulted.
+type Trigger int
+
+// Decision-point triggers.
+const (
+	TriggerArrival Trigger = iota
+	TriggerEpochEnd
+	TriggerCompletion
+	TriggerTick
+)
+
+// String renders the trigger name.
+func (t Trigger) String() string {
+	switch t {
+	case TriggerArrival:
+		return "arrival"
+	case TriggerEpochEnd:
+		return "epoch-end"
+	case TriggerCompletion:
+		return "completion"
+	case TriggerTick:
+		return "tick"
+	default:
+		return "unknown"
+	}
+}
+
+// Scheduler is the policy under test.
+type Scheduler interface {
+	// Name identifies the scheduler in reports.
+	Name() string
+	// Decide is invoked at every decision point. Returning nil keeps the
+	// current deployment; returning a schedule deploys it (with
+	// reconfiguration costs charged to every job whose allocation
+	// changed).
+	Decide(trigger Trigger, view *View) *cluster.Schedule
+	// TickInterval returns the scheduler's periodic rescheduling
+	// interval in seconds, or 0 for purely event-driven operation.
+	TickInterval() float64
+	// CostKind reports how this scheduler executes reconfigurations.
+	CostKind() CostKind
+	// ManagesLR reports whether the scheduler jointly manages the
+	// learning rate with the batch size (§3.3.2). ONES does; the
+	// baselines treat jobs as black boxes, so their jobs train with the
+	// user's LR — tuned for the reference batch — and pay the large-batch
+	// convergence penalty of Figure 3 whenever the configured batch is
+	// bigger.
+	ManagesLR() bool
+}
+
+// JobMetric is the per-job outcome of a simulation.
+type JobMetric struct {
+	ID     cluster.JobID
+	Name   string
+	Submit float64
+	Start  float64 // first time the job held a GPU (-1 if never ran)
+	Done   float64
+	JCT    float64 // Done − Submit
+	Exec   float64 // seconds holding GPUs
+	Queue  float64 // JCT − Exec
+}
+
+// EventKind classifies entries of the scheduling event log.
+type EventKind string
+
+// Event kinds.
+const (
+	EventArrive   EventKind = "arrive"
+	EventStart    EventKind = "start"
+	EventRescale  EventKind = "rescale"
+	EventPreempt  EventKind = "preempt"
+	EventComplete EventKind = "complete"
+)
+
+// Event is one entry of the optional scheduling event log.
+type Event struct {
+	Time  float64
+	Kind  EventKind
+	Job   cluster.JobID
+	GPUs  int // allocation after the event
+	Batch int // global batch after the event
+}
+
+// Result aggregates a simulation run.
+type Result struct {
+	Scheduler string
+	Jobs      []JobMetric
+	Makespan  float64
+	// Truncated is true when MaxTime elapsed with jobs still unfinished;
+	// their metrics are absent.
+	Truncated  bool
+	Unfinished int
+	// Reconfigs counts deployed allocation changes (rescale/preempt/start).
+	Reconfigs int
+	// BusyGPUSeconds accumulates Σ (seconds × GPUs held) over all jobs.
+	BusyGPUSeconds float64
+	// TotalGPUs is the cluster capacity, for utilization reporting.
+	TotalGPUs int
+	// Events is the scheduling event log (only when Config.RecordEvents).
+	Events []Event
+}
+
+// Utilization returns the average fraction of the cluster busy between
+// time zero and the makespan.
+func (r *Result) Utilization() float64 {
+	if r.Makespan <= 0 || r.TotalGPUs <= 0 {
+		return 0
+	}
+	return r.BusyGPUSeconds / (r.Makespan * float64(r.TotalGPUs))
+}
+
+// MeanJCT returns the average job completion time.
+func (r *Result) MeanJCT() float64 { return meanOf(r.Jobs, func(m JobMetric) float64 { return m.JCT }) }
+
+// MeanExec returns the average execution time.
+func (r *Result) MeanExec() float64 {
+	return meanOf(r.Jobs, func(m JobMetric) float64 { return m.Exec })
+}
+
+// MeanQueue returns the average queuing time.
+func (r *Result) MeanQueue() float64 {
+	return meanOf(r.Jobs, func(m JobMetric) float64 { return m.Queue })
+}
+
+func meanOf(jobs []JobMetric, f func(JobMetric) float64) float64 {
+	if len(jobs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, j := range jobs {
+		s += f(j)
+	}
+	return s / float64(len(jobs))
+}
+
+// JCTs returns the per-job completion times ordered by job ID.
+func (r *Result) JCTs() []float64 {
+	out := make([]float64, len(r.Jobs))
+	for i, j := range r.Jobs {
+		out[i] = j.JCT
+	}
+	return out
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	Topo      cluster.Topology
+	Trace     *workload.Trace
+	Net       perfmodel.Network
+	Costs     scaling.CostModel
+	MaxTime   float64 // simulated-seconds safety cap (0 ⇒ 1e7)
+	WarmupSec float64 // seconds before a fresh job's throughput stabilizes (informational)
+	// RecordEvents retains a per-job scheduling event log in the Result.
+	RecordEvents bool
+}
+
+// DefaultConfig returns a 64-GPU Longhorn-like configuration for the given
+// trace.
+func DefaultConfig(trace *workload.Trace) Config {
+	return Config{
+		Topo:    cluster.Longhorn(),
+		Trace:   trace,
+		Net:     perfmodel.DefaultNetwork(),
+		Costs:   scaling.DefaultCostModel(),
+		MaxTime: 1e7,
+	}
+}
+
+// jobState tracks one job inside the engine.
+type jobState struct {
+	spec    workload.Job
+	trainer *perfmodel.Trainer
+
+	arrived bool
+	done    bool
+
+	gpus    int
+	batch   int
+	servers int
+
+	firstStart  float64
+	doneAt      float64
+	exec        float64
+	segStart    float64 // time the current accounting segment began
+	pausedUntil float64 // reconfiguration pause
+	fracSamples float64 // sub-sample progress carry
+	seq         int     // epoch-event validity sequence
+}
+
+func (j *jobState) running() bool { return j.arrived && !j.done && j.gpus > 0 }
+
+// event kinds.
+type eventKind int
+
+const (
+	evArrival eventKind = iota
+	evEpochEnd
+	evTick
+)
+
+type event struct {
+	t    float64
+	kind eventKind
+	job  cluster.JobID
+	seq  int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int      { return len(h) }
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].job < h[j].job
+}
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// engine is the running simulation.
+type engine struct {
+	cfg   Config
+	sched Scheduler
+
+	now     float64
+	jobs    map[cluster.JobID]*jobState
+	order   []cluster.JobID // arrival order of alive job IDs
+	current *cluster.Schedule
+	events  eventHeap
+
+	reconfigs      int
+	busyGPUSeconds float64
+	metrics        []JobMetric
+	eventLog       []Event
+}
+
+// Run simulates the trace under the scheduler and returns per-job metrics.
+func Run(cfg Config, sched Scheduler) (*Result, error) {
+	if err := cfg.Topo.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Trace == nil || len(cfg.Trace.Jobs) == 0 {
+		return nil, fmt.Errorf("simulator: empty trace")
+	}
+	if err := cfg.Trace.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxTime <= 0 {
+		cfg.MaxTime = 1e7
+	}
+	e := &engine{
+		cfg:     cfg,
+		sched:   sched,
+		jobs:    make(map[cluster.JobID]*jobState, len(cfg.Trace.Jobs)),
+		current: cluster.NewSchedule(cfg.Topo),
+	}
+	for _, j := range cfg.Trace.Jobs {
+		id := cluster.JobID(j.ID)
+		if _, dup := e.jobs[id]; dup {
+			return nil, fmt.Errorf("simulator: duplicate job id %d", j.ID)
+		}
+		prof := j.Task.Profile
+		if !sched.ManagesLR() && j.ReqBatch > prof.RefBatch {
+			// Black-box schedulers run the user's configuration verbatim,
+			// and the user tuned the learning rate for the batch size they
+			// requested — so that batch is the job's reference point. The
+			// baseline's rigidity (it can never reshape the batch), not
+			// user miscalibration, is what ONES exploits.
+			prof.RefBatch = j.ReqBatch
+		}
+		tr, err := perfmodel.NewTrainer(prof, j.Task.DatasetSize, j.ReqBatch, sched.ManagesLR())
+		if err != nil {
+			return nil, fmt.Errorf("simulator: job %d: %w", j.ID, err)
+		}
+		e.jobs[id] = &jobState{spec: j, trainer: tr, firstStart: -1}
+		heap.Push(&e.events, event{t: j.Submit, kind: evArrival, job: id})
+	}
+	if iv := sched.TickInterval(); iv > 0 {
+		heap.Push(&e.events, event{t: iv, kind: evTick})
+	}
+	if err := e.loop(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Scheduler:      sched.Name(),
+		Jobs:           e.metrics,
+		Makespan:       e.now,
+		Reconfigs:      e.reconfigs,
+		BusyGPUSeconds: e.busyGPUSeconds,
+		TotalGPUs:      cfg.Topo.TotalGPUs(),
+		Events:         e.eventLog,
+	}
+	for _, js := range e.jobs {
+		if !js.done {
+			res.Truncated = true
+			res.Unfinished++
+		}
+	}
+	return res, nil
+}
+
+func (e *engine) loop() error {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(event)
+		if ev.t > e.cfg.MaxTime {
+			return nil
+		}
+		if ev.t < e.now-1e-9 {
+			return fmt.Errorf("simulator: time went backwards: %v -> %v", e.now, ev.t)
+		}
+		e.now = math.Max(e.now, ev.t)
+		switch ev.kind {
+		case evArrival:
+			js := e.jobs[ev.job]
+			js.arrived = true
+			js.segStart = e.now
+			e.order = append(e.order, ev.job)
+			e.logEvent(Event{Time: e.now, Kind: EventArrive, Job: ev.job})
+			if err := e.decide(TriggerArrival); err != nil {
+				return err
+			}
+		case evEpochEnd:
+			js := e.jobs[ev.job]
+			if js == nil || js.done || js.seq != ev.seq || !js.running() {
+				continue // stale event
+			}
+			e.advance(js)
+			if js.trainer.Converged() {
+				e.complete(ev.job)
+				if err := e.decide(TriggerCompletion); err != nil {
+					return err
+				}
+			} else {
+				e.scheduleEpochEnd(ev.job)
+				if err := e.decide(TriggerEpochEnd); err != nil {
+					return err
+				}
+			}
+		case evTick:
+			if err := e.decide(TriggerTick); err != nil {
+				return err
+			}
+			if alive := e.aliveCount(); alive > 0 || e.pendingArrivals() {
+				heap.Push(&e.events, event{t: e.now + e.sched.TickInterval(), kind: evTick})
+			}
+		}
+		if e.allDone() {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (e *engine) aliveCount() int {
+	n := 0
+	for _, js := range e.jobs {
+		if js.arrived && !js.done {
+			n++
+		}
+	}
+	return n
+}
+
+func (e *engine) pendingArrivals() bool {
+	for _, js := range e.jobs {
+		if !js.arrived {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *engine) allDone() bool {
+	for _, js := range e.jobs {
+		if !js.done {
+			return false
+		}
+	}
+	return true
+}
+
+// throughput returns job j's current samples/second.
+func (e *engine) throughput(js *jobState) float64 {
+	if !js.running() {
+		return 0
+	}
+	return perfmodel.Throughput(js.spec.Task.Profile, e.cfg.Net, js.batch, js.gpus, js.servers)
+}
+
+// advance brings a job's accounting and training progress up to e.now.
+func (e *engine) advance(js *jobState) {
+	if js.done || !js.arrived {
+		return
+	}
+	dt := e.now - js.segStart
+	if dt <= 0 {
+		return
+	}
+	if js.running() {
+		js.exec += dt
+		e.busyGPUSeconds += dt * float64(js.gpus)
+		effStart := math.Max(js.segStart, math.Min(js.pausedUntil, e.now))
+		eff := e.now - effStart
+		if eff > 0 {
+			x := e.throughput(js)
+			total := eff*x + js.fracSamples
+			// Absorb float error so a job that should land exactly on an
+			// epoch boundary is not left an ε-fraction short forever.
+			whole := math.Floor(total + 1e-6)
+			js.fracSamples = total - whole
+			if js.fracSamples < 0 {
+				js.fracSamples = 0
+			}
+			if whole > 0 {
+				js.trainer.AdvanceSamples(int64(whole))
+			}
+		}
+	}
+	js.segStart = e.now
+}
+
+// scheduleEpochEnd pushes the event for job j's next epoch boundary.
+func (e *engine) scheduleEpochEnd(id cluster.JobID) {
+	js := e.jobs[id]
+	if !js.running() || js.done {
+		return
+	}
+	x := e.throughput(js)
+	if x <= 0 {
+		return
+	}
+	ds := int64(js.trainer.DatasetSize())
+	rem := ds - js.trainer.Processed()%ds
+	// A job exactly at a boundary still has a full epoch ahead.
+	if rem == 0 {
+		rem = ds
+	}
+	start := math.Max(e.now, js.pausedUntil)
+	t := start + (float64(rem)-js.fracSamples)/x
+	// Guarantee forward progress even under pathological float rounding.
+	if t <= start {
+		t = start + 1e-6
+	}
+	js.seq++
+	heap.Push(&e.events, event{t: t, kind: evEpochEnd, job: id, seq: js.seq})
+}
+
+// logEvent appends to the event log when recording is enabled.
+func (e *engine) logEvent(ev Event) {
+	if e.cfg.RecordEvents {
+		e.eventLog = append(e.eventLog, ev)
+	}
+}
+
+// complete finalizes a converged job.
+func (e *engine) complete(id cluster.JobID) {
+	js := e.jobs[id]
+	js.done = true
+	js.doneAt = e.now
+	e.logEvent(Event{Time: e.now, Kind: EventComplete, Job: id})
+	e.current.Evict(id)
+	js.gpus, js.batch, js.servers = 0, 0, 0
+	jct := js.doneAt - js.spec.Submit
+	e.metrics = append(e.metrics, JobMetric{
+		ID:     id,
+		Name:   js.spec.Task.Name,
+		Submit: js.spec.Submit,
+		Start:  js.firstStart,
+		Done:   js.doneAt,
+		JCT:    jct,
+		Exec:   js.exec,
+		Queue:  jct - js.exec,
+	})
+	// Remove from arrival order.
+	for i, oid := range e.order {
+		if oid == id {
+			e.order = append(e.order[:i], e.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// decide snapshots the cluster, consults the scheduler and applies any new
+// deployment.
+func (e *engine) decide(tr Trigger) error {
+	view := e.snapshot()
+	next := e.sched.Decide(tr, view)
+	if next == nil {
+		return nil
+	}
+	return e.apply(next)
+}
+
+// snapshot builds the scheduler view.
+func (e *engine) snapshot() *View {
+	v := &View{
+		Now:     e.now,
+		Topo:    e.cfg.Topo,
+		Current: e.current.Clone(),
+	}
+	for _, id := range e.order {
+		js := e.jobs[id]
+		e.advance(js) // bring observables up to date
+		jct := e.now - js.spec.Submit
+		v.Jobs = append(v.Jobs, JobView{
+			ID:         id,
+			Submit:     js.spec.Submit,
+			Task:       js.spec.Task,
+			ReqGPUs:    js.spec.ReqGPUs,
+			ReqBatch:   js.spec.ReqBatch,
+			Running:    js.running(),
+			GPUs:       js.gpus,
+			Batch:      js.batch,
+			Processed:  js.trainer.Processed(),
+			WallEpochs: js.trainer.WallEpochs(),
+			Loss:       js.trainer.Loss(),
+			Accuracy:   js.trainer.Accuracy(),
+			ExecTime:   js.exec,
+			QueueTime:  jct - js.exec,
+		})
+	}
+	// Sort ascending by ID for determinism.
+	for i := 1; i < len(v.Jobs); i++ {
+		for k := i; k > 0 && v.Jobs[k].ID < v.Jobs[k-1].ID; k-- {
+			v.Jobs[k], v.Jobs[k-1] = v.Jobs[k-1], v.Jobs[k]
+		}
+	}
+	v.Throughput = func(id cluster.JobID, B, c, servers int) float64 {
+		js, ok := e.jobs[id]
+		if !ok {
+			return 0
+		}
+		return perfmodel.Throughput(js.spec.Task.Profile, e.cfg.Net, B, c, servers)
+	}
+	return v
+}
+
+// apply validates and deploys a new schedule, charging reconfiguration
+// costs to every job whose allocation changed.
+func (e *engine) apply(next *cluster.Schedule) error {
+	if next.Topology() != e.cfg.Topo {
+		return fmt.Errorf("simulator: schedule topology %+v != cluster %+v", next.Topology(), e.cfg.Topo)
+	}
+	if err := next.Validate(); err != nil {
+		return err
+	}
+	for _, id := range next.RunningJobs() {
+		js, ok := e.jobs[id]
+		if !ok || !js.arrived || js.done {
+			return fmt.Errorf("simulator: schedule references job %d which is not alive", id)
+		}
+		prof := js.spec.Task.Profile
+		for _, g := range next.GPUsOf(id) {
+			if b := next.Slot(g).Batch; b > prof.MaxPerGPU {
+				return fmt.Errorf("simulator: job %d local batch %d exceeds GPU memory %d", id, b, prof.MaxPerGPU)
+			}
+		}
+	}
+	// Bring every alive job up to date before the allocation flips.
+	for _, id := range e.order {
+		e.advance(e.jobs[id])
+	}
+	changed := false
+	for _, id := range e.order {
+		js := e.jobs[id]
+		newGPUs := next.GPUCount(id)
+		newBatch := next.GlobalBatch(id)
+		newServers := next.ServersOf(id)
+		if newGPUs == js.gpus && newBatch == js.batch && newServers == js.servers {
+			continue
+		}
+		changed = true
+		cost := e.reconfigCost(js, newGPUs)
+		oldGPUs := js.gpus
+		js.gpus, js.batch, js.servers = newGPUs, newBatch, newServers
+		if newGPUs > 0 {
+			kind := EventRescale
+			if js.firstStart < 0 {
+				js.firstStart = e.now
+				kind = EventStart
+			} else if oldGPUs == 0 {
+				kind = EventStart
+			}
+			e.logEvent(Event{Time: e.now, Kind: kind, Job: id, GPUs: newGPUs, Batch: newBatch})
+			js.trainer.SetBatch(newBatch)
+			js.pausedUntil = e.now + cost
+		} else if oldGPUs > 0 {
+			// Preempted: no pause bookkeeping needed while queued.
+			e.logEvent(Event{Time: e.now, Kind: EventPreempt, Job: id})
+			js.pausedUntil = e.now
+		}
+		js.seq++ // invalidate any outstanding epoch event
+	}
+	if changed {
+		e.reconfigs++
+	}
+	e.current = next.Clone()
+	// Reschedule epoch events for all running jobs.
+	for _, id := range e.order {
+		if e.jobs[id].running() {
+			e.scheduleEpochEnd(id)
+		}
+	}
+	return nil
+}
+
+// reconfigCost prices one job's allocation change.
+func (e *engine) reconfigCost(js *jobState, newGPUs int) float64 {
+	if newGPUs == 0 {
+		return 0
+	}
+	prof := js.spec.Task.Profile
+	switch e.sched.CostKind() {
+	case CostElastic:
+		return e.cfg.Costs.Elastic(prof, js.gpus, newGPUs)
+	default:
+		return e.cfg.Costs.Checkpoint(prof)
+	}
+}

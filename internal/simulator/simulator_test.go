@@ -1,0 +1,345 @@
+package simulator
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+// fifoTest is a minimal FIFO gang scheduler local to the test package so
+// the simulator can be exercised without importing internal/schedulers
+// (which imports this package).
+type fifoTest struct{ cost CostKind }
+
+func (f *fifoTest) Name() string          { return "fifo-test" }
+func (f *fifoTest) TickInterval() float64 { return 0 }
+func (f *fifoTest) CostKind() CostKind    { return f.cost }
+func (f *fifoTest) ManagesLR() bool       { return true }
+func (f *fifoTest) Decide(tr Trigger, v *View) *cluster.Schedule {
+	s := v.Current.Clone()
+	changed := false
+	for _, j := range v.Jobs {
+		if j.Running {
+			continue
+		}
+		idle := s.IdleGPUs()
+		if len(idle) < j.ReqGPUs {
+			break
+		}
+		per := j.ReqBatch / j.ReqGPUs
+		if per > j.Task.Profile.MaxPerGPU {
+			per = j.Task.Profile.MaxPerGPU
+		}
+		if per < 1 {
+			per = 1
+		}
+		for i := 0; i < j.ReqGPUs; i++ {
+			s.SetSlot(idle[i], j.ID, per)
+		}
+		changed = true
+	}
+	if !changed {
+		return nil
+	}
+	return s
+}
+
+func smallTrace(t *testing.T, n int) *workload.Trace {
+	t.Helper()
+	tr, err := workload.Generate(workload.Config{Seed: 3, NumJobs: n, MeanInterarrival: 20, MaxReqGPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func smallConfig(t *testing.T, n int) Config {
+	t.Helper()
+	cfg := DefaultConfig(smallTrace(t, n))
+	cfg.Topo = cluster.Topology{Servers: 4, GPUsPerServer: 4}
+	return cfg
+}
+
+func TestRunCompletesAllJobs(t *testing.T) {
+	cfg := smallConfig(t, 12)
+	res, err := Run(cfg, &fifoTest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatalf("simulation truncated with %d unfinished jobs", res.Unfinished)
+	}
+	if len(res.Jobs) != 12 {
+		t.Fatalf("completed %d jobs, want 12", len(res.Jobs))
+	}
+}
+
+func TestMetricsConsistency(t *testing.T) {
+	cfg := smallConfig(t, 10)
+	res, err := Run(cfg, &fifoTest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Jobs {
+		if m.Done < m.Submit {
+			t.Errorf("job %d done %v before submit %v", m.ID, m.Done, m.Submit)
+		}
+		if math.Abs(m.JCT-(m.Done-m.Submit)) > 1e-6 {
+			t.Errorf("job %d JCT %v != done-submit %v", m.ID, m.JCT, m.Done-m.Submit)
+		}
+		if m.Exec < 0 || m.Queue < -1e-6 {
+			t.Errorf("job %d negative components: exec %v queue %v", m.ID, m.Exec, m.Queue)
+		}
+		if math.Abs(m.JCT-(m.Exec+m.Queue)) > 1e-6 {
+			t.Errorf("job %d JCT %v != exec %v + queue %v", m.ID, m.JCT, m.Exec, m.Queue)
+		}
+		if m.Start < m.Submit {
+			t.Errorf("job %d started %v before submit %v", m.ID, m.Start, m.Submit)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	run := func() *Result {
+		cfg := smallConfig(t, 8)
+		res, err := Run(cfg, &fifoTest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.MeanJCT() != b.MeanJCT() || a.Makespan != b.Makespan {
+		t.Errorf("nondeterministic: JCT %v vs %v, makespan %v vs %v",
+			a.MeanJCT(), b.MeanJCT(), a.Makespan, b.Makespan)
+	}
+}
+
+func TestCheckpointCostsSlowJobsDown(t *testing.T) {
+	cfg := smallConfig(t, 8)
+	cheap, err := Run(cfg, &fifoTest{cost: CostElastic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	costly, err := Run(cfg, &fifoTest{cost: CostCheckpoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costly.MeanJCT() <= cheap.MeanJCT() {
+		t.Errorf("checkpoint-mode mean JCT (%v) should exceed elastic (%v)",
+			costly.MeanJCT(), cheap.MeanJCT())
+	}
+}
+
+func TestRejectsEmptyTrace(t *testing.T) {
+	cfg := DefaultConfig(&workload.Trace{})
+	if _, err := Run(cfg, &fifoTest{}); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestRejectsScheduleWithUnknownJob(t *testing.T) {
+	cfg := smallConfig(t, 3)
+	bad := &badScheduler{}
+	if _, err := Run(cfg, bad); err == nil {
+		t.Error("schedule referencing unknown job accepted")
+	}
+}
+
+type badScheduler struct{}
+
+func (b *badScheduler) Name() string          { return "bad" }
+func (b *badScheduler) TickInterval() float64 { return 0 }
+func (b *badScheduler) CostKind() CostKind    { return CostElastic }
+func (b *badScheduler) ManagesLR() bool       { return true }
+func (b *badScheduler) Decide(tr Trigger, v *View) *cluster.Schedule {
+	s := v.Current.Clone()
+	s.SetSlot(0, 9999, 64) // job 9999 does not exist
+	return s
+}
+
+func TestRejectsOverMemoryBatch(t *testing.T) {
+	cfg := smallConfig(t, 3)
+	if _, err := Run(cfg, &overMemScheduler{}); err == nil {
+		t.Error("schedule with over-memory local batch accepted")
+	}
+}
+
+type overMemScheduler struct{}
+
+func (o *overMemScheduler) Name() string          { return "overmem" }
+func (o *overMemScheduler) TickInterval() float64 { return 0 }
+func (o *overMemScheduler) CostKind() CostKind    { return CostElastic }
+func (o *overMemScheduler) ManagesLR() bool       { return true }
+func (o *overMemScheduler) Decide(tr Trigger, v *View) *cluster.Schedule {
+	for _, j := range v.Jobs {
+		if !j.Running {
+			s := v.Current.Clone()
+			s.SetSlot(0, j.ID, j.Task.Profile.MaxPerGPU*10)
+			return s
+		}
+	}
+	return nil
+}
+
+func TestIdleSchedulerTruncates(t *testing.T) {
+	// A scheduler that never allocates leaves all jobs unfinished.
+	cfg := smallConfig(t, 4)
+	res, err := Run(cfg, &nilScheduler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || res.Unfinished != 4 {
+		t.Errorf("expected 4 unfinished jobs, got truncated=%v unfinished=%d", res.Truncated, res.Unfinished)
+	}
+}
+
+type nilScheduler struct{}
+
+func (n *nilScheduler) Name() string                                 { return "nil" }
+func (n *nilScheduler) TickInterval() float64                        { return 0 }
+func (n *nilScheduler) CostKind() CostKind                           { return CostElastic }
+func (n *nilScheduler) ManagesLR() bool                              { return true }
+func (n *nilScheduler) Decide(tr Trigger, v *View) *cluster.Schedule { return nil }
+
+func TestTickSchedulerGetsPeriodicCalls(t *testing.T) {
+	cfg := smallConfig(t, 6)
+	ts := &tickCounter{fifoTest: fifoTest{}}
+	res, err := Run(cfg, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatal("truncated")
+	}
+	if ts.ticks == 0 {
+		t.Error("tick scheduler never received a tick")
+	}
+}
+
+type tickCounter struct {
+	fifoTest
+	ticks int
+}
+
+func (tc *tickCounter) TickInterval() float64 { return 60 }
+func (tc *tickCounter) Decide(tr Trigger, v *View) *cluster.Schedule {
+	if tr == TriggerTick {
+		tc.ticks++
+	}
+	return tc.fifoTest.Decide(tr, v)
+}
+
+func TestViewJobOf(t *testing.T) {
+	v := &View{Jobs: []JobView{{ID: 3}, {ID: 7}}}
+	if v.JobOf(7) == nil || v.JobOf(7).ID != 7 {
+		t.Error("JobOf(7) failed")
+	}
+	if v.JobOf(99) != nil {
+		t.Error("JobOf(absent) should be nil")
+	}
+}
+
+func TestTriggerString(t *testing.T) {
+	names := map[Trigger]string{
+		TriggerArrival:    "arrival",
+		TriggerEpochEnd:   "epoch-end",
+		TriggerCompletion: "completion",
+		TriggerTick:       "tick",
+		Trigger(42):       "unknown",
+	}
+	for tr, want := range names {
+		if got := tr.String(); got != want {
+			t.Errorf("Trigger(%d).String() = %q, want %q", tr, got, want)
+		}
+	}
+}
+
+func TestResultAggregates(t *testing.T) {
+	r := &Result{Jobs: []JobMetric{
+		{JCT: 10, Exec: 6, Queue: 4},
+		{JCT: 20, Exec: 12, Queue: 8},
+	}}
+	if got := r.MeanJCT(); got != 15 {
+		t.Errorf("MeanJCT = %v", got)
+	}
+	if got := r.MeanExec(); got != 9 {
+		t.Errorf("MeanExec = %v", got)
+	}
+	if got := r.MeanQueue(); got != 6 {
+		t.Errorf("MeanQueue = %v", got)
+	}
+	if got := r.JCTs(); len(got) != 2 || got[0] != 10 {
+		t.Errorf("JCTs = %v", got)
+	}
+	empty := &Result{}
+	if empty.MeanJCT() != 0 {
+		t.Error("empty result mean should be 0")
+	}
+}
+
+func TestUtilizationAccounting(t *testing.T) {
+	cfg := smallConfig(t, 8)
+	res, err := Run(cfg, &fifoTest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := res.Utilization()
+	if u <= 0 || u > 1 {
+		t.Fatalf("utilization %v outside (0,1]", u)
+	}
+	// Busy GPU-seconds must equal the sum over jobs of exec × GPUs held;
+	// with fixed-size FIFO each job holds ReqGPUs for its whole exec time.
+	var want float64
+	byID := map[int]int{}
+	for _, j := range cfg.Trace.Jobs {
+		byID[j.ID] = j.ReqGPUs
+	}
+	for _, m := range res.Jobs {
+		want += m.Exec * float64(byID[int(m.ID)])
+	}
+	if math.Abs(res.BusyGPUSeconds-want)/want > 1e-6 {
+		t.Errorf("BusyGPUSeconds = %v, want %v", res.BusyGPUSeconds, want)
+	}
+	if (&Result{}).Utilization() != 0 {
+		t.Error("empty result utilization should be 0")
+	}
+}
+
+func TestEventLogRecordsLifecycle(t *testing.T) {
+	cfg := smallConfig(t, 4)
+	cfg.RecordEvents = true
+	res, err := Run(cfg, &fifoTest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	counts := map[EventKind]int{}
+	prev := -1.0
+	for _, ev := range res.Events {
+		counts[ev.Kind]++
+		if ev.Time < prev {
+			t.Fatalf("event log out of order: %v after %v", ev.Time, prev)
+		}
+		prev = ev.Time
+	}
+	if counts[EventArrive] != 4 || counts[EventComplete] != 4 {
+		t.Errorf("lifecycle counts wrong: %+v", counts)
+	}
+	if counts[EventStart] < 4 {
+		t.Errorf("every job must start at least once: %+v", counts)
+	}
+	// Default config must not record.
+	cfg2 := smallConfig(t, 2)
+	res2, err := Run(cfg2, &fifoTest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Events) != 0 {
+		t.Error("events recorded without RecordEvents")
+	}
+}

@@ -1,0 +1,214 @@
+// Package stats provides the statistical machinery of the paper's
+// evaluation: the Wilcoxon signed-rank test used in Table 4 to establish
+// that ONES's per-job completion times are significantly smaller than each
+// baseline's, plus the box-plot summaries and empirical distribution
+// curves behind Figure 15's panels.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mathx"
+)
+
+// Alternative selects the Wilcoxon test's alternative hypothesis.
+type Alternative int
+
+// Alternatives. The paper reports the two-sided test (are the schedulers
+// equivalent?) and the one-sided "negative" test (is ONES's JCT smaller?).
+const (
+	TwoSided Alternative = iota
+	Less                 // H1: x tends to be smaller than y
+	Greater              // H1: x tends to be greater than y
+)
+
+// WilcoxonResult carries the test statistic and p-value.
+type WilcoxonResult struct {
+	W        float64 // signed-rank statistic (sum of positive-difference ranks)
+	Z        float64 // normal approximation score
+	P        float64 // p-value under the selected alternative
+	N        int     // effective sample size (non-zero differences)
+	TieCount int     // number of tied absolute differences
+}
+
+// Wilcoxon runs the paired signed-rank test on x vs y using the normal
+// approximation with tie correction and continuity correction. Pairs with
+// zero difference are dropped (Wilcoxon's original treatment).
+func Wilcoxon(x, y []float64, alt Alternative) (WilcoxonResult, error) {
+	if len(x) != len(y) {
+		return WilcoxonResult{}, fmt.Errorf("stats: paired samples differ in length: %d vs %d", len(x), len(y))
+	}
+	type diff struct {
+		abs  float64
+		sign float64
+	}
+	var diffs []diff
+	for i := range x {
+		d := x[i] - y[i]
+		if d == 0 {
+			continue
+		}
+		s := 1.0
+		if d < 0 {
+			s = -1.0
+		}
+		diffs = append(diffs, diff{abs: math.Abs(d), sign: s})
+	}
+	n := len(diffs)
+	if n < 5 {
+		return WilcoxonResult{}, fmt.Errorf("stats: too few non-zero differences (%d) for the normal approximation", n)
+	}
+	sort.Slice(diffs, func(i, j int) bool { return diffs[i].abs < diffs[j].abs })
+
+	// Average ranks over ties; accumulate the tie correction term Σ(t³−t).
+	ranks := make([]float64, n)
+	var tieTerm float64
+	ties := 0
+	for i := 0; i < n; {
+		j := i
+		for j < n && diffs[j].abs == diffs[i].abs {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // ranks are 1-based
+		for k := i; k < j; k++ {
+			ranks[k] = avg
+		}
+		if t := j - i; t > 1 {
+			ties += t
+			ft := float64(t)
+			tieTerm += ft*ft*ft - ft
+		}
+		i = j
+	}
+
+	var wPlus float64
+	for i, d := range diffs {
+		if d.sign > 0 {
+			wPlus += ranks[i]
+		}
+	}
+	fn := float64(n)
+	mean := fn * (fn + 1) / 4
+	variance := fn*(fn+1)*(2*fn+1)/24 - tieTerm/48
+	if variance <= 0 {
+		return WilcoxonResult{}, fmt.Errorf("stats: degenerate variance (all differences tied)")
+	}
+	sd := math.Sqrt(variance)
+
+	// Continuity-corrected z.
+	var z float64
+	switch {
+	case wPlus > mean:
+		z = (wPlus - mean - 0.5) / sd
+	case wPlus < mean:
+		z = (wPlus - mean + 0.5) / sd
+	}
+
+	var p float64
+	switch alt {
+	case TwoSided:
+		p = 2 * (1 - mathx.NormCDF(math.Abs(z)))
+		if p > 1 {
+			p = 1
+		}
+	case Less:
+		// H1: x < y ⟺ positive ranks are scarce ⟺ small W+.
+		p = mathx.NormCDF(z)
+	case Greater:
+		p = 1 - mathx.NormCDF(z)
+	default:
+		return WilcoxonResult{}, fmt.Errorf("stats: unknown alternative %d", alt)
+	}
+	return WilcoxonResult{W: wPlus, Z: z, P: p, N: n, TieCount: ties}, nil
+}
+
+// BoxStats is the five-number summary plus mean, as drawn in the paper's
+// box plots (Figures 15d–f).
+type BoxStats struct {
+	Min, Q1, Median, Q3, Max, Mean float64
+	N                              int
+}
+
+// Box computes the summary of xs. It returns the zero value for an empty
+// slice.
+func Box(xs []float64) BoxStats {
+	n := len(xs)
+	if n == 0 {
+		return BoxStats{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return BoxStats{
+		Min:    s[0],
+		Q1:     Quantile(s, 0.25),
+		Median: Quantile(s, 0.5),
+		Q3:     Quantile(s, 0.75),
+		Max:    s[n-1],
+		Mean:   mathx.Mean(s),
+		N:      n,
+	}
+}
+
+// Quantile returns the q-quantile of the ascending-sorted slice s using
+// linear interpolation between order statistics.
+func Quantile(s []float64, q float64) float64 {
+	n := len(s)
+	switch {
+	case n == 0:
+		return 0
+	case n == 1:
+		return s[0]
+	}
+	q = mathx.Clamp(q, 0, 1)
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// ECDF evaluates the empirical CDF of data at the given points: the
+// fraction of observations ≤ x (the paper's cumulative-frequency curves,
+// Figures 15g–i).
+func ECDF(data, at []float64) []float64 {
+	s := append([]float64(nil), data...)
+	sort.Float64s(s)
+	out := make([]float64, len(at))
+	for i, x := range at {
+		out[i] = float64(sort.SearchFloat64s(s, math.Nextafter(x, math.Inf(1)))) / float64(len(s))
+	}
+	return out
+}
+
+// FractionBelow returns the share of observations strictly at or below x.
+func FractionBelow(data []float64, x float64) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	var n int
+	for _, v := range data {
+		if v <= x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(data))
+}
+
+// LogSpace returns n points spaced logarithmically between lo and hi
+// (inclusive), for the log-x axes of the CF plots.
+func LogSpace(lo, hi float64, n int) []float64 {
+	if n <= 0 || lo <= 0 || hi <= lo {
+		return nil
+	}
+	out := make([]float64, n)
+	ratio := math.Log(hi / lo)
+	for i := range out {
+		out[i] = lo * math.Exp(ratio*float64(i)/float64(n-1))
+	}
+	return out
+}
