@@ -9,7 +9,8 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
-	"repro/internal/core"
+	"repro/internal/engine"
+	_ "repro/internal/experiments" // populate the experiment registry
 	"repro/internal/perfmodel"
 	"repro/internal/runtime"
 	"repro/internal/schedulers"
@@ -17,6 +18,21 @@ import (
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
+
+// runExperiment renders one registered experiment on a fresh quick
+// runner.
+func runExperiment(b *testing.B, name string) string {
+	b.Helper()
+	e, ok := engine.LookupExperiment(name)
+	if !ok {
+		b.Fatalf("experiment %q not registered", name)
+	}
+	out, err := e.Run(engine.NewRunner(engine.QuickParams()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return out
+}
 
 // --- Figure 2: throughput vs workers, elastic vs fixed batch ---
 
@@ -63,10 +79,7 @@ func BenchmarkFig03ConvergenceCurves(b *testing.B) {
 
 func BenchmarkFig06OnlinePredictor(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		suite := core.NewSuite(core.QuickOptions())
-		if _, err := suite.Fig6(); err != nil {
-			b.Fatal(err)
-		}
+		runExperiment(b, "fig6")
 	}
 }
 
@@ -135,8 +148,8 @@ var fig15Once struct {
 
 func fig15Results(b *testing.B) []*simulator.Result {
 	fig15Once.Do(func() {
-		suite := core.NewSuite(core.QuickOptions())
-		fig15Once.results, fig15Once.err = suite.Fig15Results()
+		r := engine.NewRunner(engine.QuickParams())
+		fig15Once.results, fig15Once.err = r.Compare(0, engine.PaperSchedulers())
 	})
 	if fig15Once.err != nil {
 		b.Fatal(fig15Once.err)
@@ -146,8 +159,8 @@ func fig15Results(b *testing.B) []*simulator.Result {
 
 func BenchmarkFig15SchedulerComparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		suite := core.NewSuite(core.QuickOptions())
-		results, err := suite.Fig15Results()
+		r := engine.NewRunner(engine.QuickParams())
+		results, err := r.Compare(0, engine.PaperSchedulers())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -233,26 +246,48 @@ func BenchmarkFig16CheckpointScaling(b *testing.B) { benchRescale(b, true) }
 
 func BenchmarkFig17Scalability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		opt := core.QuickOptions()
-		opt.Capacities = []int{16, 64}
-		suite := core.NewSuite(opt)
-		byCap, err := suite.Fig17Results()
-		if err != nil {
+		p := engine.QuickParams()
+		p.Capacities = []int{16, 64}
+		r := engine.NewRunner(p)
+		// Warm the whole sweep in one batch; the per-capacity reads
+		// below are cache hits.
+		if _, err := r.Results(engine.SweepCells(engine.PaperSchedulers(), p.Capacities)); err != nil {
 			b.Fatal(err)
 		}
-		for _, capGPUs := range opt.Capacities {
-			for _, r := range byCap[capGPUs] {
-				if r.Scheduler == "ONES" {
+		for _, capGPUs := range p.Capacities {
+			results, err := r.Compare(capGPUs, engine.PaperSchedulers())
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, res := range results {
+				if res.Scheduler == "ONES" {
 					if capGPUs == 16 {
-						b.ReportMetric(r.MeanJCT(), "ones-16gpu-jct-s")
+						b.ReportMetric(res.MeanJCT(), "ones-16gpu-jct-s")
 					} else {
-						b.ReportMetric(r.MeanJCT(), "ones-64gpu-jct-s")
+						b.ReportMetric(res.MeanJCT(), "ones-64gpu-jct-s")
 					}
 				}
 			}
 		}
 	}
 }
+
+// --- Engine: worker-pool scaling on the full sweep ---
+
+func benchEngineSweep(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		p := engine.QuickParams()
+		p.Workers = workers
+		r := engine.NewRunner(p)
+		cells := engine.SweepCells(engine.PaperSchedulers(), p.Capacities)
+		if _, err := r.Results(cells); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineSweepSerial(b *testing.B)   { benchEngineSweep(b, 1) }
+func BenchmarkEngineSweepParallel(b *testing.B) { benchEngineSweep(b, 0) }
 
 // --- Ablations of ONES's design choices ---
 

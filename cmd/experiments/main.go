@@ -1,10 +1,18 @@
-// Command experiments regenerates the paper's tables and figures.
+// Command experiments regenerates the paper's tables and figures through
+// the parallel experiment engine. Experiments are selected by registry
+// name; their declared simulation cells are prewarmed across a worker
+// pool before anything renders, so runs shared between figures (Fig 15,
+// Fig 17, Fig 18, Table 4) execute exactly once. Progress and timing go
+// to stderr; stdout carries only the tables and figures, byte-identical
+// for a given seed at any -parallel setting.
 //
 // Examples:
 //
-//	experiments -exp fig15          # the headline scheduler comparison
-//	experiments -exp all -quick     # everything, at smoke-test scale
-//	experiments -exp fig16          # live scaling-overhead measurement
+//	experiments -exp fig15            # the headline scheduler comparison
+//	experiments -exp all -quick       # everything, at smoke-test scale
+//	experiments -exp fig17,fig18      # the capacity sweep, one warm pass
+//	experiments -list                 # what can run
+//	experiments -exp all -parallel 1  # serial baseline for timing
 package main
 
 import (
@@ -12,71 +20,101 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
-	"repro/internal/core"
+	"repro/internal/engine"
+	_ "repro/internal/experiments" // populate the experiment registry
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: fig2|fig3|fig6|fig13|fig14|fig15|fig16|fig17|fig18|table2|table3|table4|all")
-		quick = flag.Bool("quick", false, "shrink traces and populations for a fast pass")
-		seed  = flag.Int64("seed", 1, "RNG seed")
-		jobs  = flag.Int("jobs", 0, "override trace length")
-		pop   = flag.Int("pop", 0, "override ONES population size")
+		exp      = flag.String("exp", "all", "experiments to run: comma-separated registry names, or \"all\"")
+		list     = flag.Bool("list", false, "list registered experiments and exit")
+		quick    = flag.Bool("quick", false, "shrink traces and populations for a fast pass")
+		seed     = flag.Int64("seed", 1, "master RNG seed (traces and per-cell scheduler seeds derive from it)")
+		jobs     = flag.Int("jobs", 0, "override trace length")
+		pop      = flag.Int("pop", 0, "override ONES population size")
+		parallel = flag.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+		quiet    = flag.Bool("quiet", false, "suppress progress and timing output on stderr")
 	)
 	flag.Parse()
 
-	opt := core.DefaultOptions()
-	if *quick {
-		opt = core.QuickOptions()
+	if *list {
+		for _, e := range engine.Experiments() {
+			fmt.Printf("%-8s %s\n", e.Name, e.Title)
+		}
+		return
 	}
-	opt.Seed = *seed
+
+	p := engine.DefaultParams()
+	if *quick {
+		p = engine.QuickParams()
+	}
+	p.Seed = *seed
 	if *jobs > 0 {
-		opt.Jobs = *jobs
+		p.Jobs = *jobs
 	}
 	if *pop > 0 {
-		opt.Population = *pop
+		p.Population = *pop
 	}
-	suite := core.NewSuite(opt)
+	p.Workers = *parallel
 
-	type experiment struct {
-		name string
-		run  func() (string, error)
-	}
-	registry := []experiment{
-		{"fig2", func() (string, error) { return suite.Fig2(), nil }},
-		{"fig3", func() (string, error) { return suite.Fig3(), nil }},
-		{"fig6", suite.Fig6},
-		{"table2", func() (string, error) { return suite.Table2(), nil }},
-		{"table3", func() (string, error) { return suite.Table3(), nil }},
-		{"fig13", suite.Fig13},
-		{"fig14", suite.Fig14},
-		{"fig15", suite.Fig15},
-		{"table4", suite.Table4},
-		{"fig16", func() (string, error) {
-			_, out, err := suite.Fig16()
-			return out, err
-		}},
-		{"fig17", suite.Fig17},
-		{"fig18", suite.Fig18},
-	}
-
-	want := strings.ToLower(*exp)
-	found := false
-	for _, e := range registry {
-		if want != "all" && want != e.name {
-			continue
+	var selected []engine.Experiment
+	if strings.EqualFold(*exp, "all") {
+		selected = engine.Experiments()
+	} else {
+		for _, name := range strings.Split(strings.ToLower(*exp), ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			e, ok := engine.LookupExperiment(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (known: %s)\n",
+					name, strings.Join(engine.ExperimentNames(), ", "))
+				os.Exit(2)
+			}
+			selected = append(selected, e)
 		}
-		found = true
-		out, err := e.run()
+	}
+	if len(selected) == 0 {
+		fmt.Fprintln(os.Stderr, "experiments: nothing selected")
+		os.Exit(2)
+	}
+
+	progress := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format, args...)
+		}
+	}
+
+	r := engine.NewRunner(p)
+	r.OnCell = func(cell engine.Cell, elapsed time.Duration) {
+		progress("  cell %-24s %8.2fs\n", cell, elapsed.Seconds())
+	}
+
+	// Prewarm: run every declared simulation cell across the pool before
+	// rendering, so independent runs overlap instead of serializing
+	// behind the figure order.
+	start := time.Now()
+	if cells := engine.DeclaredCells(selected, r.Params()); len(cells) > 0 {
+		progress("warming %d simulation cells on %d workers…\n", len(cells), r.Workers())
+		if _, err := r.Results(cells); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: prewarm: %v\n", err)
+			os.Exit(1)
+		}
+		progress("cells warm after %.2fs\n", time.Since(start).Seconds())
+	}
+
+	for _, e := range selected {
+		expStart := time.Now()
+		out, err := e.Run(r)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.name, err)
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.Name, err)
 			os.Exit(1)
 		}
 		fmt.Println(out)
+		progress("[%s] %.2fs\n", e.Name, time.Since(expStart).Seconds())
 	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *exp)
-		os.Exit(2)
-	}
+	progress("total %.2fs (%d simulation cells)\n", time.Since(start).Seconds(), r.CachedCells())
 }

@@ -13,16 +13,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/schedulers"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		sched        = flag.String("sched", "ones", "scheduler: ones|drl|tiresias|optimus|fifo|sjf")
+		sched        = flag.String("sched", "ones", "scheduler: "+strings.Join(schedulers.Names(), "|"))
 		gpus         = flag.Int("gpus", 64, "cluster capacity in GPUs (4 per server)")
 		jobs         = flag.Int("jobs", 120, "number of jobs in the trace")
 		interarrival = flag.Float64("interarrival", 12, "mean seconds between arrivals")

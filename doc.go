@@ -9,7 +9,10 @@
 // cluster model, an analytic DL performance model, a Table 2 workload
 // generator, a discrete-event cluster simulator, the DRL/Tiresias/Optimus
 // baselines, a live goroutine mini-cluster with a real ring all-reduce,
-// and the statistics of the paper's evaluation.
+// and the statistics of the paper's evaluation. The evaluation itself
+// runs through internal/engine — a parallel experiment engine whose
+// registry names every figure/table and whose sharded runner fans
+// independent simulation cells across a cached worker pool.
 //
 // Entry points:
 //

@@ -1,37 +1,44 @@
 // nlpmixed studies scheduling scalability on a mixed CV+NLP trace: the
-// same job stream replayed on clusters of 16 and 64 GPUs (the Figure 17/18
-// sweep, condensed). It shows how ONES's advantage over the baselines
-// widens with more free capacity to orchestrate.
+// same job stream replayed on clusters of 16 and 64 GPUs (the Figure
+// 17/18 sweep, condensed), executed through the parallel experiment
+// engine so the eight scheduler×capacity cells fan out across every
+// core. It shows how ONES's advantage over the baselines widens with
+// more free capacity to orchestrate.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	"repro/internal/engine"
+	_ "repro/internal/experiments" // populate the experiment registry
 )
 
 func main() {
-	opt := core.QuickOptions()
-	opt.Seed = 5
-	opt.Jobs = 40
-	opt.Population = 12
-	opt.Capacities = []int{16, 64}
-	suite := core.NewSuite(opt)
+	p := engine.QuickParams()
+	p.Seed = 5
+	p.Jobs = 40
+	p.Population = 12
+	p.Capacities = []int{16, 64}
+	r := engine.NewRunner(p)
 
-	fmt.Println("sweeping cluster capacity over the same 40-job CV+NLP trace…")
-	out17, err := suite.Fig17()
-	if err != nil {
+	fmt.Printf("sweeping cluster capacity over the same 40-job CV+NLP trace (%d workers)…\n", r.Workers())
+	// Warm every scheduler×capacity cell across the pool up front (as
+	// cmd/experiments does); both figures below then render from cache.
+	if _, err := r.Results(engine.SweepCells(engine.PaperSchedulers(), p.Capacities)); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println()
-	fmt.Print(out17)
-
-	out18, err := suite.Fig18()
-	if err != nil {
-		log.Fatal(err)
+	for _, name := range []string{"fig17", "fig18"} {
+		e, ok := engine.LookupExperiment(name)
+		if !ok {
+			log.Fatalf("experiment %s not registered", name)
+		}
+		out, err := e.Run(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(out)
 	}
-	fmt.Println()
-	fmt.Print(out18)
 	fmt.Println("\n(values > 1.00 are the factor by which the baseline's mean JCT exceeds ONES's)")
 }

@@ -105,6 +105,18 @@ func (s *Schedule) Clone() *Schedule {
 	return c
 }
 
+// CopyFrom overwrites s with o's topology and slots, reusing s's slot
+// storage when it is large enough. The allocation-free counterpart of
+// Clone for hot paths that maintain a long-lived schedule buffer.
+func (s *Schedule) CopyFrom(o *Schedule) {
+	s.topo = o.topo
+	if cap(s.slots) < len(o.slots) {
+		s.slots = make([]Slot, len(o.slots))
+	}
+	s.slots = s.slots[:len(o.slots)]
+	copy(s.slots, o.slots)
+}
+
 // Equal reports whether two schedules assign identical slots over the same
 // topology.
 func (s *Schedule) Equal(o *Schedule) bool {

@@ -1,7 +1,10 @@
-// Package core is the public façade of the ONES reproduction: it wires the
-// workload generator, the discrete-event cluster simulator and the
-// scheduler implementations together, and hosts the experiment suite that
-// regenerates every table and figure of the paper's evaluation.
+// Package core is the public façade of the ONES reproduction: it wires
+// the workload generator, the discrete-event cluster simulator and the
+// scheduler registry together behind a one-call Run/Compare API.
+//
+// The experiment suite that regenerates the paper's tables and figures
+// lives in internal/experiments, executed through the parallel runner in
+// internal/engine.
 package core
 
 import (
@@ -13,7 +16,8 @@ import (
 	"repro/internal/workload"
 )
 
-// SchedulerKind names a scheduling policy.
+// SchedulerKind names a scheduling policy. Kinds are the names of the
+// schedulers registry; NewScheduler resolves them there.
 type SchedulerKind string
 
 // Available schedulers: ONES and the paper's three baselines, plus the
@@ -58,31 +62,14 @@ func (c *RunConfig) normalize() {
 	}
 }
 
-// NewScheduler constructs the named scheduler.
+// NewScheduler constructs the named scheduler through the registry.
 func NewScheduler(kind SchedulerKind, seed int64, trace workload.Config, population int, mutation float64) (simulator.Scheduler, error) {
-	switch kind {
-	case KindONES:
-		o := schedulers.NewONES(seed, trace.ArrivalRate())
-		if population > 0 {
-			o.PopulationSize = population
-		}
-		if mutation > 0 {
-			o.MutationRate = mutation
-		}
-		return o, nil
-	case KindDRL:
-		return schedulers.NewDRL(seed), nil
-	case KindTiresias:
-		return schedulers.NewTiresias(), nil
-	case KindOptimus:
-		return schedulers.NewOptimus(), nil
-	case KindFIFO:
-		return schedulers.NewFIFO(), nil
-	case KindSJF:
-		return schedulers.NewSJF(), nil
-	default:
-		return nil, fmt.Errorf("core: unknown scheduler %q", kind)
-	}
+	return schedulers.New(string(kind), schedulers.Config{
+		Seed:         seed,
+		ArrivalRate:  trace.ArrivalRate(),
+		Population:   population,
+		MutationRate: mutation,
+	})
 }
 
 // Run simulates one trace under one scheduler.

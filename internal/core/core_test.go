@@ -1,14 +1,11 @@
 package core
 
 import (
-	"strings"
 	"testing"
 
 	"repro/internal/cluster"
 	"repro/internal/workload"
 )
-
-func quickSuite() *Suite { return NewSuite(QuickOptions()) }
 
 func quickRunConfig(kind SchedulerKind) RunConfig {
 	return RunConfig{
@@ -71,120 +68,6 @@ func TestCompareIsPaired(t *testing.T) {
 	// Paired: both schedulers saw the identical job set.
 	if len(results[0].Jobs) != len(results[1].Jobs) {
 		t.Error("job counts differ across paired runs")
-	}
-}
-
-func TestFig2Shape(t *testing.T) {
-	out := quickSuite().Fig2()
-	if !strings.Contains(out, "Figure 2") || !strings.Contains(out, "elastic") {
-		t.Errorf("Fig2 output malformed:\n%s", out)
-	}
-	if got := strings.Count(out, "\n"); got < 9 {
-		t.Errorf("Fig2 has %d lines, want 8 worker rows", got)
-	}
-}
-
-func TestFig3Shape(t *testing.T) {
-	out := quickSuite().Fig3()
-	if !strings.Contains(out, "8 GPUs") {
-		t.Errorf("Fig3 output malformed:\n%s", out)
-	}
-}
-
-func TestFig6Runs(t *testing.T) {
-	out, err := quickSuite().Fig6()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(out, "ci90-lo") {
-		t.Errorf("Fig6 missing CI columns:\n%s", out)
-	}
-	if strings.Count(out, "\n") < 8 {
-		t.Errorf("Fig6 too few prediction rows:\n%s", out)
-	}
-}
-
-func TestTables(t *testing.T) {
-	s := quickSuite()
-	t2 := s.Table2()
-	if strings.Count(t2, "\n") < 52 { // header + 50 rows
-		t.Errorf("Table2 should list 50 tasks:\n%s", t2)
-	}
-	t3 := s.Table3()
-	for _, name := range []string{"ONES", "DRL", "Tiresias", "Optimus"} {
-		if !strings.Contains(t3, name) {
-			t.Errorf("Table3 missing %s", name)
-		}
-	}
-}
-
-func TestFig13And14(t *testing.T) {
-	s := quickSuite()
-	f13, err := s.Fig13()
-	if err != nil {
-		t.Fatal(err)
-	}
-	f14, err := s.Fig14()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(f13, "abrupt") || !strings.Contains(f14, "gradual") {
-		t.Error("loss-curve titles wrong")
-	}
-}
-
-func TestFig16QuickScale(t *testing.T) {
-	rows, out, err := quickSuite().Fig16()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(rows) != 7 {
-		t.Fatalf("Fig16 rows = %d, want 7 models", len(rows))
-	}
-	for _, r := range rows {
-		if r.ElasticMeasured <= 0 || r.CheckpointMeasured <= 0 {
-			t.Errorf("%s: nonpositive measured overheads %+v", r.Model, r)
-		}
-		if r.CheckpointPaper < 5*r.ElasticPaper {
-			t.Errorf("%s: calibrated checkpoint should dwarf elastic: %+v", r.Model, r)
-		}
-	}
-	if !strings.Contains(out, "vgg16") {
-		t.Errorf("Fig16 render missing models:\n%s", out)
-	}
-}
-
-func TestFullPipelineQuick(t *testing.T) {
-	if testing.Short() {
-		t.Skip("runs the quick evolutionary comparison")
-	}
-	s := quickSuite()
-	f15, err := s.Fig15()
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, want := range []string{"Figure 15a", "cumulative frequency", "within 200 s"} {
-		if !strings.Contains(f15, want) {
-			t.Errorf("Fig15 output missing %q", want)
-		}
-	}
-	t4, err := s.Table4()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(t4, "vs. ") {
-		t.Errorf("Table4 malformed:\n%s", t4)
-	}
-	f17, err := s.Fig17()
-	if err != nil {
-		t.Fatal(err)
-	}
-	f18, err := s.Fig18()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(f17, "GPUs") || !strings.Contains(f18, "1.00") {
-		t.Errorf("scalability outputs malformed:\n%s\n%s", f17, f18)
 	}
 }
 

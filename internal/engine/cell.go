@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/cluster"
+)
+
+// Cell is the unit of simulation work and the shared-cache key: one
+// scheduler replaying one trace on one cluster capacity.
+type Cell struct {
+	Scheduler string // schedulers registry name ("ones", "drl", …)
+	Capacity  int    // total GPUs (0 ⇒ the paper's 64-GPU Longhorn testbed)
+	TraceSeed int64  // workload trace seed (0 ⇒ the master seed)
+}
+
+// String renders the cell for progress and error reporting.
+func (c Cell) String() string {
+	return fmt.Sprintf("%s/%dgpu/trace%d", c.Scheduler, c.Capacity, c.TraceSeed)
+}
+
+// normalize resolves the cell's zero-value defaults against the params.
+func (c Cell) normalize(p Params) Cell {
+	if c.Capacity <= 0 {
+		c.Capacity = cluster.Longhorn().TotalGPUs()
+	}
+	if c.TraceSeed == 0 {
+		c.TraceSeed = p.Seed
+	}
+	return c
+}
+
+// Topology maps a capacity to the cluster shape: 4-GPU servers, as on the
+// paper's Longhorn testbed (capacity 64 ⇒ exactly cluster.Longhorn()).
+func (c Cell) Topology() cluster.Topology {
+	return cluster.Topology{Servers: (c.Capacity + 3) / 4, GPUsPerServer: 4}
+}
+
+// schedulerSeed derives the cell's scheduler RNG seed from the master
+// seed. The derivation depends only on the cell key — never on execution
+// order — so results are identical at any worker count. FNV-1a mixes the
+// key; a splitmix64 finalizer scatters related master seeds.
+func (c Cell) schedulerSeed(master int64) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d", c.Scheduler, c.Capacity, c.TraceSeed)
+	z := uint64(master)*0x9E3779B97F4A7C15 ^ h.Sum64()
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	s := int64(z &^ (1 << 63)) // math/rand seeds must be non-negative-friendly
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// ComparisonCells returns one cell per scheduler at the given capacity,
+// all sharing the master trace seed.
+func ComparisonCells(scheds []string, capacity int) []Cell {
+	cells := make([]Cell, len(scheds))
+	for i, s := range scheds {
+		cells[i] = Cell{Scheduler: s, Capacity: capacity}
+	}
+	return cells
+}
+
+// SweepCells returns the scheduler × capacity cross product, scheduler-
+// major (all capacities of the first scheduler first).
+func SweepCells(scheds []string, capacities []int) []Cell {
+	cells := make([]Cell, 0, len(scheds)*len(capacities))
+	for _, s := range scheds {
+		for _, cap := range capacities {
+			cells = append(cells, Cell{Scheduler: s, Capacity: cap})
+		}
+	}
+	return cells
+}

@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Experiment is one named, self-describing figure or table of the paper's
+// evaluation.
+type Experiment struct {
+	// Name is the flag-facing identifier ("fig15", "table4", …).
+	Name string
+	// Title is a one-line description shown by -list.
+	Title string
+	// Cells declares the simulation runs the experiment consumes, so a
+	// driver can prewarm the shared cache at full parallelism before
+	// rendering anything. Nil when the experiment needs no simulation.
+	Cells func(p Params) []Cell
+	// Run renders the experiment (reading simulations through r's cache).
+	Run func(r *Runner) (string, error)
+}
+
+var (
+	expMu    sync.RWMutex
+	expOrder []string
+	expByKey = make(map[string]Experiment)
+)
+
+// RegisterExperiment adds an experiment to the global registry. The
+// registration order is the order -exp all renders in, so register in
+// paper order. Duplicate names panic.
+func RegisterExperiment(e Experiment) {
+	expMu.Lock()
+	defer expMu.Unlock()
+	if e.Name == "" || e.Run == nil {
+		panic("engine: RegisterExperiment with empty name or nil Run")
+	}
+	if _, dup := expByKey[e.Name]; dup {
+		panic(fmt.Sprintf("engine: duplicate experiment %q", e.Name))
+	}
+	expByKey[e.Name] = e
+	expOrder = append(expOrder, e.Name)
+}
+
+// LookupExperiment returns the named experiment.
+func LookupExperiment(name string) (Experiment, bool) {
+	expMu.RLock()
+	defer expMu.RUnlock()
+	e, ok := expByKey[name]
+	return e, ok
+}
+
+// Experiments returns every registered experiment in registration order.
+func Experiments() []Experiment {
+	expMu.RLock()
+	defer expMu.RUnlock()
+	out := make([]Experiment, 0, len(expOrder))
+	for _, name := range expOrder {
+		out = append(out, expByKey[name])
+	}
+	return out
+}
+
+// ExperimentNames returns the registered names in registration order.
+func ExperimentNames() []string {
+	expMu.RLock()
+	defer expMu.RUnlock()
+	return append([]string(nil), expOrder...)
+}
+
+// DeclaredCells gathers the declared simulation dependencies of the given
+// experiments, deduplicated, in first-declaration order and normalized
+// against p — the prewarm set a driver hands to Runner.Results.
+func DeclaredCells(exps []Experiment, p Params) []Cell {
+	seen := make(map[Cell]bool)
+	var cells []Cell
+	for _, e := range exps {
+		if e.Cells == nil {
+			continue
+		}
+		for _, c := range e.Cells(p) {
+			c = c.normalize(p)
+			if seen[c] {
+				continue
+			}
+			seen[c] = true
+			cells = append(cells, c)
+		}
+	}
+	return cells
+}

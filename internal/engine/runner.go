@@ -1,0 +1,208 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/schedulers"
+	"repro/internal/simulator"
+	"repro/internal/workload"
+)
+
+// Runner executes simulation cells across a bounded worker pool and
+// memoizes every result. It is safe for concurrent use; each distinct
+// cell runs exactly once per Runner even when several experiments request
+// it at the same time.
+type Runner struct {
+	params  Params
+	workers int
+	sem     chan struct{}
+
+	// OnCell, when set before the first Results call, is invoked after
+	// each cell actually simulates (cache hits do not fire it). Calls may
+	// come from multiple goroutines.
+	OnCell func(cell Cell, elapsed time.Duration)
+
+	mu     sync.Mutex
+	cells  map[Cell]*cellEntry
+	traces map[int64]*traceEntry
+}
+
+type cellEntry struct {
+	once sync.Once
+	res  *simulator.Result
+	err  error
+}
+
+type traceEntry struct {
+	once  sync.Once
+	trace *workload.Trace
+	err   error
+}
+
+// NewRunner returns a Runner over the given params. Unset fields default
+// individually (to DefaultParams values), so a caller may set only the
+// fields it cares about.
+func NewRunner(p Params) *Runner {
+	def := DefaultParams()
+	if p.Seed == 0 {
+		p.Seed = def.Seed
+	}
+	if p.Jobs <= 0 {
+		p.Jobs = def.Jobs
+	}
+	if p.Interarrival <= 0 {
+		p.Interarrival = def.Interarrival
+	}
+	if p.Population <= 0 {
+		p.Population = def.Population
+	}
+	if len(p.Capacities) == 0 {
+		p.Capacities = def.Capacities
+	}
+	if p.ParamScale <= 0 {
+		p.ParamScale = def.ParamScale
+	}
+	if p.CFPoints <= 0 {
+		p.CFPoints = def.CFPoints
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		params:  p,
+		workers: workers,
+		sem:     make(chan struct{}, workers),
+		cells:   make(map[Cell]*cellEntry),
+		traces:  make(map[int64]*traceEntry),
+	}
+}
+
+// Params returns the runner's experiment parameters.
+func (r *Runner) Params() Params { return r.params }
+
+// Workers returns the effective worker-pool size.
+func (r *Runner) Workers() int { return r.workers }
+
+// CachedCells reports how many distinct cells have been simulated.
+func (r *Runner) CachedCells() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.cells)
+}
+
+// entry returns the (possibly new) singleflight entry for a cell.
+func (r *Runner) entry(c Cell) *cellEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.cells[c]
+	if !ok {
+		e = &cellEntry{}
+		r.cells[c] = e
+	}
+	return e
+}
+
+// Result runs (or recalls) a single cell. The worker-pool slot is
+// acquired inside the once, so cache hits return immediately and
+// goroutines waiting on another's in-flight computation of the same cell
+// do not hold slots the pool could be simulating with.
+func (r *Runner) Result(cell Cell) (*simulator.Result, error) {
+	cell = cell.normalize(r.params)
+	e := r.entry(cell)
+	e.once.Do(func() {
+		r.sem <- struct{}{}
+		defer func() { <-r.sem }()
+		e.res, e.err = r.runCell(cell)
+	})
+	if e.err != nil {
+		return nil, fmt.Errorf("engine: cell %s: %w", cell, e.err)
+	}
+	return e.res, nil
+}
+
+// Results fans the cells across the worker pool and returns their results
+// in input order. Cells already cached return instantly; the rest run at
+// most Workers at a time. Errors surface once the batch drains (work
+// already in flight is not cancelled); the first failing cell's error is
+// returned.
+func (r *Runner) Results(cells []Cell) ([]*simulator.Result, error) {
+	out := make([]*simulator.Result, len(cells))
+	errs := make([]error, len(cells))
+	var wg sync.WaitGroup
+	for i, c := range cells {
+		wg.Add(1)
+		go func(i int, c Cell) {
+			defer wg.Done()
+			out[i], errs[i] = r.Result(c)
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Compare runs every scheduler at the given capacity against the shared
+// master-seed trace — the paired comparison of Figures 15/17/18.
+func (r *Runner) Compare(capacity int, scheds []string) ([]*simulator.Result, error) {
+	return r.Results(ComparisonCells(scheds, capacity))
+}
+
+// trace returns the memoized workload trace for a seed.
+func (r *Runner) trace(seed int64) (*workload.Trace, error) {
+	r.mu.Lock()
+	e, ok := r.traces[seed]
+	if !ok {
+		e = &traceEntry{}
+		r.traces[seed] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() { e.trace, e.err = workload.Generate(r.params.TraceConfig(seed)) })
+	return e.trace, e.err
+}
+
+// runCell executes one simulation: generate (or recall) the trace, build
+// the scheduler from the registry with the cell-derived seed, simulate.
+func (r *Runner) runCell(c Cell) (*simulator.Result, error) {
+	start := time.Now()
+	trace, err := r.trace(c.TraceSeed)
+	if err != nil {
+		return nil, err
+	}
+	tcfg := r.params.TraceConfig(c.TraceSeed)
+	// The worker pool owns all concurrency: Workers is the total CPU
+	// budget, cells are the unit of parallelism, and scheduler-internal
+	// fan-out (ONES's evolution loop) is pinned to 1 so it neither
+	// oversubscribes a busy pool nor silently un-serializes a Workers=1
+	// timing baseline. Tradeoff: a run with fewer cells than cores
+	// leaves the surplus idle — raise Workers past the cell count if
+	// you want them busy elsewhere. ONES results are identical at any
+	// Parallelism (its candidate randomness is pre-seeded serially), so
+	// this is a pure perf knob.
+	sched, err := schedulers.New(c.Scheduler, schedulers.Config{
+		Seed:        c.schedulerSeed(r.params.Seed),
+		ArrivalRate: tcfg.ArrivalRate(),
+		Population:  r.params.Population,
+		Parallelism: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	simCfg := simulator.DefaultConfig(trace)
+	simCfg.Topo = c.Topology()
+	res, err := simulator.Run(simCfg, sched)
+	if err != nil {
+		return nil, err
+	}
+	if r.OnCell != nil {
+		r.OnCell(c, time.Since(start))
+	}
+	return res, nil
+}

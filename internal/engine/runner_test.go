@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testParams are small enough that the full scheduler × capacity grid
+// runs in well under a second per worker configuration.
+func testParams(workers int) Params {
+	return Params{
+		Seed:         7,
+		Jobs:         10,
+		Interarrival: 25,
+		Population:   6,
+		Capacities:   []int{16, 32},
+		ParamScale:   400,
+		CFPoints:     8,
+		Workers:      workers,
+	}
+}
+
+func testCells() []Cell {
+	return SweepCells([]string{"ones", "fifo", "sjf", "tiresias"}, []int{16, 32})
+}
+
+func TestRunnerDeterministicAcrossWorkerCounts(t *testing.T) {
+	cells := testCells()
+	var baseline []any
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		r := NewRunner(testParams(workers))
+		results, err := r.Results(cells)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var snapshot []any
+		for _, res := range results {
+			snapshot = append(snapshot, res.Scheduler, res.Jobs, res.Makespan, res.Reconfigs)
+		}
+		if baseline == nil {
+			baseline = snapshot
+			continue
+		}
+		if !reflect.DeepEqual(baseline, snapshot) {
+			t.Errorf("workers=%d: results differ from workers=1", workers)
+		}
+	}
+}
+
+func TestRunnerSeedChangesResults(t *testing.T) {
+	cell := Cell{Scheduler: "ones", Capacity: 16}
+	p1 := testParams(1)
+	p2 := testParams(1)
+	p2.Seed = 8
+	r1, err := NewRunner(p1).Result(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRunner(p2).Result(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(r1.Jobs, r2.Jobs) {
+		t.Error("different master seeds produced identical per-job metrics")
+	}
+}
+
+func TestRunnerCacheDedupes(t *testing.T) {
+	r := NewRunner(testParams(4))
+	var mu sync.Mutex
+	ran := 0
+	r.OnCell = func(Cell, time.Duration) {
+		mu.Lock()
+		ran++
+		mu.Unlock()
+	}
+	cells := testCells()
+	// Ask for everything twice in one batch, plus the normalized-alias
+	// forms (Capacity 0 ⇒ 64, TraceSeed 0 ⇒ master) of a fresh cell.
+	batch := append(append([]Cell{}, cells...), cells...)
+	batch = append(batch, Cell{Scheduler: "fifo"}, Cell{Scheduler: "fifo", Capacity: 64, TraceSeed: 7})
+	if _, err := r.Results(batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Results(cells); err != nil {
+		t.Fatal(err)
+	}
+	want := len(cells) + 1 // the grid plus the deduped 64-GPU FIFO cell
+	if ran != want {
+		t.Errorf("ran %d simulations, want %d (cache failed to dedupe)", ran, want)
+	}
+	if got := r.CachedCells(); got != want {
+		t.Errorf("CachedCells = %d, want %d", got, want)
+	}
+}
+
+func TestRunnerPairsTraces(t *testing.T) {
+	r := NewRunner(testParams(2))
+	results, err := r.Compare(16, []string{"fifo", "sjf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || len(results[0].Jobs) != len(results[1].Jobs) {
+		t.Fatalf("paired comparison saw different job sets: %+v", results)
+	}
+}
+
+func TestRunnerDefaultsEmptyCapacities(t *testing.T) {
+	p := testParams(1)
+	p.Capacities = nil
+	r := NewRunner(p)
+	if len(r.Params().Capacities) == 0 {
+		t.Error("empty Capacities not defaulted; sweep experiments would panic")
+	}
+}
+
+func TestRunnerUnknownScheduler(t *testing.T) {
+	r := NewRunner(testParams(1))
+	if _, err := r.Result(Cell{Scheduler: "bogus", Capacity: 16}); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+}
+
+func TestCellSchedulerSeedStableAndDistinct(t *testing.T) {
+	a := Cell{Scheduler: "ones", Capacity: 16, TraceSeed: 1}
+	if a.schedulerSeed(1) != a.schedulerSeed(1) {
+		t.Error("seed derivation is not a pure function of the key")
+	}
+	seen := map[int64]Cell{}
+	for _, c := range []Cell{
+		a,
+		{Scheduler: "drl", Capacity: 16, TraceSeed: 1},
+		{Scheduler: "ones", Capacity: 32, TraceSeed: 1},
+		{Scheduler: "ones", Capacity: 16, TraceSeed: 2},
+	} {
+		for _, master := range []int64{1, 2} {
+			s := c.schedulerSeed(master)
+			if s <= 0 {
+				t.Errorf("cell %v master %d: non-positive seed %d", c, master, s)
+			}
+			if prev, dup := seen[s]; dup {
+				t.Errorf("seed collision between %v and %v", prev, c)
+			}
+			seen[s] = c
+		}
+	}
+}
+
+func TestDeclaredCellsDedupes(t *testing.T) {
+	exps := []Experiment{
+		{Name: "a", Run: nopRun, Cells: func(p Params) []Cell {
+			return []Cell{{Scheduler: "ones"}, {Scheduler: "fifo", Capacity: 16}}
+		}},
+		{Name: "b", Run: nopRun}, // no cells
+		{Name: "c", Run: nopRun, Cells: func(p Params) []Cell {
+			return []Cell{{Scheduler: "ones", Capacity: 64, TraceSeed: 7}} // alias of a's first
+		}},
+	}
+	cells := DeclaredCells(exps, testParams(1))
+	if len(cells) != 2 {
+		t.Fatalf("DeclaredCells = %v, want 2 deduped cells", cells)
+	}
+	if cells[0].Capacity != 64 || cells[0].TraceSeed != 7 {
+		t.Errorf("cells not normalized: %+v", cells[0])
+	}
+}
+
+func nopRun(r *Runner) (string, error) { return "", nil }

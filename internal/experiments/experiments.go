@@ -1,0 +1,25 @@
+// Package experiments defines every figure and table of the paper's
+// evaluation as a named engine.Experiment. Importing the package (usually
+// for side effects) populates the engine registry; drivers then select
+// experiments by name, prewarm their declared simulation cells through a
+// parallel engine.Runner, and render them in paper order.
+package experiments
+
+import "repro/internal/engine"
+
+// init registers the experiments in paper order — the order `-exp all`
+// renders in.
+func init() {
+	engine.RegisterExperiment(fig2)
+	engine.RegisterExperiment(fig3)
+	engine.RegisterExperiment(fig6)
+	engine.RegisterExperiment(table2)
+	engine.RegisterExperiment(table3)
+	engine.RegisterExperiment(fig13)
+	engine.RegisterExperiment(fig14)
+	engine.RegisterExperiment(fig15)
+	engine.RegisterExperiment(table4)
+	engine.RegisterExperiment(fig16)
+	engine.RegisterExperiment(fig17)
+	engine.RegisterExperiment(fig18)
+}

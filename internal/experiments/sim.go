@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/simulator"
+	"repro/internal/stats"
+)
+
+// fig15Cells are the headline-comparison runs: every paper scheduler on
+// the default 64-GPU trace (capacity 0 ⇒ the Longhorn testbed).
+func fig15Cells(p engine.Params) []engine.Cell {
+	return engine.ComparisonCells(engine.PaperSchedulers(), 0)
+}
+
+// sweepCells are the capacity-sweep runs of Figures 17/18. The 64-GPU
+// column is the same cell set as Figure 15, so the cache runs it once.
+func sweepCells(p engine.Params) []engine.Cell {
+	return engine.SweepCells(engine.PaperSchedulers(), p.Capacities)
+}
+
+// fig15 renders all nine panels of Figure 15 as text.
+var fig15 = engine.Experiment{
+	Name:  "fig15",
+	Title: "head-to-head scheduler comparison on the 64-GPU trace",
+	Cells: fig15Cells,
+	Run: func(r *engine.Runner) (string, error) {
+		results, err := r.Compare(0, engine.PaperSchedulers())
+		if err != nil {
+			return "", err
+		}
+		sums := make([]metrics.Summary, len(results))
+		for i, res := range results {
+			sums[i] = metrics.Summarize(res)
+		}
+		metrics.SortSummaries(sums)
+		var b strings.Builder
+		b.WriteString("Figure 15a–c — average completion / execution / queuing time\n")
+		b.WriteString(metrics.ComparisonTable(sums))
+		b.WriteByte('\n')
+		for _, m := range []metrics.Metric{metrics.JCT, metrics.Exec, metrics.Queue} {
+			b.WriteString("Figure 15d–f — ")
+			b.WriteString(metrics.BoxTable(results, m))
+			b.WriteByte('\n')
+		}
+		for _, m := range []metrics.Metric{metrics.JCT, metrics.Exec, metrics.Queue} {
+			fmt.Fprintf(&b, "Figure 15g–i — cumulative frequency of %s\n", m)
+			b.WriteString(metrics.RenderCF(metrics.CFCurves(results, m, r.Params().CFPoints)))
+			b.WriteByte('\n')
+		}
+		// The paper's headline observation on the JCT distribution.
+		for _, res := range results {
+			fmt.Fprintf(&b, "fraction of jobs completed within 200 s (%s): %.0f%%\n",
+				res.Scheduler, 100*metrics.FractionWithin(res, metrics.JCT, 200))
+		}
+		return b.String(), nil
+	},
+}
+
+// table4 runs the Wilcoxon significance tests of ONES against each
+// baseline on the paired per-job JCTs from the Figure 15 runs.
+var table4 = engine.Experiment{
+	Name:  "table4",
+	Title: "Wilcoxon significance tests on the paired Figure 15 JCTs",
+	Cells: fig15Cells,
+	Run: func(r *engine.Runner) (string, error) {
+		results, err := r.Compare(0, engine.PaperSchedulers())
+		if err != nil {
+			return "", err
+		}
+		var ones *simulator.Result
+		for _, res := range results {
+			if res.Scheduler == "ONES" {
+				ones = res
+			}
+		}
+		if ones == nil {
+			return "", fmt.Errorf("experiments: Figure 15 runs missing ONES")
+		}
+		var b strings.Builder
+		b.WriteString("Table 4 — Wilcoxon significance tests on per-job JCT\n")
+		fmt.Fprintf(&b, "%-14s %18s %26s\n", "comparison", "p (two-sided)", "p (one-sided negative)")
+		for _, res := range results {
+			if res.Scheduler == "ONES" {
+				continue
+			}
+			two, err := stats.Wilcoxon(ones.JCTs(), res.JCTs(), stats.TwoSided)
+			if err != nil {
+				return "", err
+			}
+			neg, err := stats.Wilcoxon(ones.JCTs(), res.JCTs(), stats.Greater)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "vs. %-10s %18.3g %26.5f\n", res.Scheduler, two.P, neg.P)
+		}
+		b.WriteString("(small two-sided p rejects equivalence; one-sided p near 1 accepts \"ONES smaller\")\n")
+		return b.String(), nil
+	},
+}
+
+// sweepResults gathers the capacity sweep, one paired comparison per
+// capacity, in Params.Capacities order. Every cell of the sweep is
+// issued in a single batch — no barrier between capacities — so a
+// non-prewarmed caller still overlaps all independent runs.
+func sweepResults(r *engine.Runner) (map[int][]*simulator.Result, error) {
+	caps := r.Params().Capacities
+	scheds := engine.PaperSchedulers()
+	var cells []engine.Cell
+	for _, capGPUs := range caps {
+		cells = append(cells, engine.ComparisonCells(scheds, capGPUs)...)
+	}
+	flat, err := r.Results(cells)
+	if err != nil {
+		return nil, err
+	}
+	byCap := make(map[int][]*simulator.Result, len(caps))
+	for i, capGPUs := range caps {
+		byCap[capGPUs] = flat[i*len(scheds) : (i+1)*len(scheds)]
+	}
+	return byCap, nil
+}
+
+// fig17 renders average JCT vs cluster capacity.
+var fig17 = engine.Experiment{
+	Name:  "fig17",
+	Title: "average JCT vs cluster capacity",
+	Cells: sweepCells,
+	Run: func(r *engine.Runner) (string, error) {
+		byCap, err := sweepResults(r)
+		if err != nil {
+			return "", err
+		}
+		caps := r.Params().Capacities
+		var b strings.Builder
+		b.WriteString("Figure 17 — average JCT (s) vs cluster capacity\n")
+		fmt.Fprintf(&b, "%8s", "GPUs")
+		for _, res := range byCap[caps[0]] {
+			fmt.Fprintf(&b, " %10s", res.Scheduler)
+		}
+		b.WriteByte('\n')
+		for _, capGPUs := range caps {
+			fmt.Fprintf(&b, "%8d", capGPUs)
+			for _, res := range byCap[capGPUs] {
+				fmt.Fprintf(&b, " %10.1f", res.MeanJCT())
+			}
+			b.WriteByte('\n')
+		}
+		return b.String(), nil
+	},
+}
+
+// fig18 renders the relative JCT (baseline / ONES) per capacity.
+var fig18 = engine.Experiment{
+	Name:  "fig18",
+	Title: "JCT relative to ONES per capacity",
+	Cells: sweepCells,
+	Run: func(r *engine.Runner) (string, error) {
+		byCap, err := sweepResults(r)
+		if err != nil {
+			return "", err
+		}
+		caps := r.Params().Capacities
+		var b strings.Builder
+		b.WriteString("Figure 18 — JCT relative to ONES (lower is better; ONES = 1.00)\n")
+		fmt.Fprintf(&b, "%8s", "GPUs")
+		for _, res := range byCap[caps[0]] {
+			fmt.Fprintf(&b, " %10s", res.Scheduler)
+		}
+		b.WriteByte('\n')
+		for _, capGPUs := range caps {
+			results := byCap[capGPUs]
+			var ones float64
+			for _, res := range results {
+				if res.Scheduler == "ONES" {
+					ones = res.MeanJCT()
+				}
+			}
+			fmt.Fprintf(&b, "%8d", capGPUs)
+			for _, res := range results {
+				rel := math.NaN()
+				if ones > 0 {
+					rel = res.MeanJCT() / ones
+				}
+				fmt.Fprintf(&b, " %10.2f", rel)
+			}
+			b.WriteByte('\n')
+		}
+		return b.String(), nil
+	},
+}

@@ -66,12 +66,12 @@ type ONESStats struct {
 
 // onesJob is ONES's private per-job state.
 type onesJob struct {
-	limit       int
-	startLimit  int
-	everRan     bool
-	seenEpochs  float64
-	logs        []predictor.Sample
-	logSamples  []int64 // processed counter at each log point
+	limit      int
+	startLimit int
+	everRan    bool
+	seenEpochs float64
+	logs       []predictor.Sample
+	logSamples []int64 // processed counter at each log point
 	lastSeen   simulator.JobView
 	wasWaiting bool // waiting at the previous deployment (Resume policy)
 }

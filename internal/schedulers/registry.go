@@ -1,0 +1,92 @@
+package schedulers
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/simulator"
+)
+
+// Config carries the policy-independent knobs a scheduler factory may use.
+// Factories ignore fields that do not apply to their policy.
+type Config struct {
+	// Seed drives any scheduler-internal randomness.
+	Seed int64
+	// ArrivalRate is the trace's job arrival rate λ (ONES's scale-down
+	// penalty is derived from it).
+	ArrivalRate float64
+	// Population overrides ONES's population size K (0 ⇒ cluster size).
+	Population int
+	// MutationRate overrides ONES's θ (0 ⇒ default).
+	MutationRate float64
+	// Parallelism bounds scheduler-internal fan-out (ONES's evolution
+	// loop; 0 ⇒ GOMAXPROCS). Purely a performance knob: results are
+	// identical at any setting.
+	Parallelism int
+}
+
+// Factory constructs one scheduler instance from a Config.
+type Factory func(cfg Config) simulator.Scheduler
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]Factory)
+)
+
+// Register adds a named scheduler factory. Names are the flag-facing
+// lowercase identifiers ("ones", "drl", …). Re-registering a name panics:
+// two policies silently shadowing each other would corrupt experiments.
+func Register(name string, f Factory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if name == "" || f == nil {
+		panic("schedulers: Register with empty name or nil factory")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("schedulers: duplicate registration of %q", name))
+	}
+	registry[name] = f
+}
+
+// New constructs the named scheduler, or errors listing the known names.
+func New(name string, cfg Config) (simulator.Scheduler, error) {
+	registryMu.RLock()
+	f, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("schedulers: unknown scheduler %q (known: %v)", name, Names())
+	}
+	return f(cfg), nil
+}
+
+// Names returns the registered scheduler names, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	Register("ones", func(cfg Config) simulator.Scheduler {
+		o := NewONES(cfg.Seed, cfg.ArrivalRate)
+		if cfg.Population > 0 {
+			o.PopulationSize = cfg.Population
+		}
+		if cfg.MutationRate > 0 {
+			o.MutationRate = cfg.MutationRate
+		}
+		o.Parallelism = cfg.Parallelism
+		return o
+	})
+	Register("drl", func(cfg Config) simulator.Scheduler { return NewDRL(cfg.Seed) })
+	Register("tiresias", func(cfg Config) simulator.Scheduler { return NewTiresias() })
+	Register("optimus", func(cfg Config) simulator.Scheduler { return NewOptimus() })
+	Register("fifo", func(cfg Config) simulator.Scheduler { return NewFIFO() })
+	Register("sjf", func(cfg Config) simulator.Scheduler { return NewSJF() })
+}

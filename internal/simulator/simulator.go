@@ -12,6 +12,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/perfmodel"
@@ -51,12 +52,15 @@ type JobView struct {
 }
 
 // View is the cluster snapshot handed to a scheduler at each decision
-// point.
+// point. The View and everything reachable from it (Jobs, Current) are
+// only valid for the duration of the Decide call: the engine reuses the
+// backing storage across decision points, so a scheduler must copy (e.g.
+// Current.Clone()) anything it mutates or retains.
 type View struct {
 	Now     float64
 	Topo    cluster.Topology
 	Jobs    []JobView         // alive jobs, ascending ID
-	Current *cluster.Schedule // deployed schedule (clone; mutations ignored)
+	Current *cluster.Schedule // deployed schedule (snapshot; mutations ignored)
 
 	// Throughput is the measured-throughput oracle: schedulers in the
 	// paper profile real-time throughput on the workers, which amounts to
@@ -314,11 +318,22 @@ type engine struct {
 	current *cluster.Schedule
 	events  eventHeap
 
+	// Decide-path buffers, reused across decision points so the hot loop
+	// does not re-allocate a View, job slice and schedule clone per event.
+	view         View
+	viewSched    *cluster.Schedule
+	throughputFn func(id cluster.JobID, B, c, servers int) float64
+
 	reconfigs      int
 	busyGPUSeconds float64
 	metrics        []JobMetric
 	eventLog       []Event
 }
+
+// eventHeapPool recycles event-heap backing arrays across runs: a
+// parallel experiment sweep multiplies allocation pressure, and the heap
+// is the one simulation-length buffer every run needs.
+var eventHeapPool = sync.Pool{New: func() any { return new(eventHeap) }}
 
 // Run simulates the trace under the scheduler and returns per-job metrics.
 func Run(cfg Config, sched Scheduler) (*Result, error) {
@@ -334,12 +349,19 @@ func Run(cfg Config, sched Scheduler) (*Result, error) {
 	if cfg.MaxTime <= 0 {
 		cfg.MaxTime = 1e7
 	}
+	hp := eventHeapPool.Get().(*eventHeap)
 	e := &engine{
 		cfg:     cfg,
 		sched:   sched,
 		jobs:    make(map[cluster.JobID]*jobState, len(cfg.Trace.Jobs)),
 		current: cluster.NewSchedule(cfg.Topo),
+		events:  (*hp)[:0],
+		metrics: make([]JobMetric, 0, len(cfg.Trace.Jobs)),
 	}
+	defer func() {
+		*hp = e.events[:0]
+		eventHeapPool.Put(hp)
+	}()
 	for _, j := range cfg.Trace.Jobs {
 		id := cluster.JobID(j.ID)
 		if _, dup := e.jobs[id]; dup {
@@ -577,13 +599,28 @@ func (e *engine) decide(tr Trigger) error {
 	return e.apply(next)
 }
 
-// snapshot builds the scheduler view.
+// snapshot builds the scheduler view into the engine's reusable buffers
+// (see the View lifetime contract).
 func (e *engine) snapshot() *View {
-	v := &View{
-		Now:     e.now,
-		Topo:    e.cfg.Topo,
-		Current: e.current.Clone(),
+	if e.viewSched == nil {
+		e.viewSched = cluster.NewSchedule(e.cfg.Topo)
 	}
+	e.viewSched.CopyFrom(e.current)
+	if e.throughputFn == nil {
+		e.throughputFn = func(id cluster.JobID, B, c, servers int) float64 {
+			js, ok := e.jobs[id]
+			if !ok {
+				return 0
+			}
+			return perfmodel.Throughput(js.spec.Task.Profile, e.cfg.Net, B, c, servers)
+		}
+	}
+	v := &e.view
+	v.Now = e.now
+	v.Topo = e.cfg.Topo
+	v.Current = e.viewSched
+	v.Throughput = e.throughputFn
+	v.Jobs = v.Jobs[:0]
 	for _, id := range e.order {
 		js := e.jobs[id]
 		e.advance(js) // bring observables up to date
@@ -610,13 +647,6 @@ func (e *engine) snapshot() *View {
 		for k := i; k > 0 && v.Jobs[k].ID < v.Jobs[k-1].ID; k-- {
 			v.Jobs[k], v.Jobs[k-1] = v.Jobs[k-1], v.Jobs[k]
 		}
-	}
-	v.Throughput = func(id cluster.JobID, B, c, servers int) float64 {
-		js, ok := e.jobs[id]
-		if !ok {
-			return 0
-		}
-		return perfmodel.Throughput(js.spec.Task.Profile, e.cfg.Net, B, c, servers)
 	}
 	return v
 }
@@ -680,7 +710,10 @@ func (e *engine) apply(next *cluster.Schedule) error {
 	if changed {
 		e.reconfigs++
 	}
-	e.current = next.Clone()
+	// Copy rather than alias: the scheduler may retain `next` (ONES keeps
+	// its champion in the population), and copying into the engine's own
+	// schedule avoids a fresh allocation per deployment.
+	e.current.CopyFrom(next)
 	// Reschedule epoch events for all running jobs.
 	for _, id := range e.order {
 		if e.jobs[id].running() {
