@@ -272,6 +272,31 @@ func BenchmarkFig17Scalability(b *testing.B) {
 	}
 }
 
+// --- Scenario sweep: robustness under changing worlds ---
+
+func BenchmarkScenarioNodeFailure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := engine.NewRunner(engine.QuickParams())
+		res, err := r.Result(engine.Cell{Scheduler: "ones", Scenario: "node-failure"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MeanJCT(), "ones-jct-s")
+		b.ReportMetric(float64(res.Evictions), "evictions")
+	}
+}
+
+func BenchmarkScenarioBurst(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := engine.NewRunner(engine.QuickParams())
+		res, err := r.Result(engine.Cell{Scheduler: "ones", Scenario: "burst"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MeanJCT(), "ones-jct-s")
+	}
+}
+
 // --- Engine: worker-pool scaling on the full sweep ---
 
 func benchEngineSweep(b *testing.B, workers int) {

@@ -1,9 +1,11 @@
 // Command tracegen generates, summarizes and validates workload traces
-// (the Table 2 job mix with Poisson arrivals).
+// (the Table 2 job mix) under any named scenario's arrival process.
 //
 // Examples:
 //
 //	tracegen -jobs 120 -o trace.json
+//	tracegen -scenario burst -jobs 200 -o burst.json
+//	tracegen -list-scenarios
 //	tracegen -in trace.json -summary
 package main
 
@@ -12,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/scenario"
 	"repro/internal/workload"
 )
 
@@ -21,11 +24,25 @@ func main() {
 		interarrival = flag.Float64("interarrival", 12, "mean seconds between arrivals")
 		seed         = flag.Int64("seed", 1, "RNG seed")
 		maxGPUs      = flag.Int("max-gpus", 8, "largest user GPU request")
+		scenarioName = flag.String("scenario", "", "named scenario whose arrival process shapes the trace (see -list-scenarios)")
+		listScen     = flag.Bool("list-scenarios", false, "list named scenarios and exit")
 		out          = flag.String("o", "", "write the trace as JSON to this file (default: stdout)")
 		in           = flag.String("in", "", "read an existing trace instead of generating")
 		summary      = flag.Bool("summary", false, "print composition summary instead of JSON")
 	)
 	flag.Parse()
+
+	if *listScen {
+		for _, s := range scenario.Specs() {
+			capacity := "fixed capacity"
+			if !s.Capacity.IsStatic() {
+				capacity = "elastic capacity"
+			}
+			fmt.Printf("%-14s %-45s arrivals: %s; %s\n",
+				s.Name, s.Title, s.Arrival.Normalize(*interarrival), capacity)
+		}
+		return
+	}
 
 	var trace *workload.Trace
 	if *in != "" {
@@ -38,13 +55,23 @@ func main() {
 			fatal(err)
 		}
 	} else {
-		var err error
-		trace, err = workload.Generate(workload.Config{
+		cfg := workload.Config{
 			Seed:             *seed,
 			NumJobs:          *jobs,
 			MeanInterarrival: *interarrival,
 			MaxReqGPUs:       *maxGPUs,
-		})
+		}
+		if *scenarioName != "" {
+			// Arrival shape comes from the scenario registry; the raw
+			// flags still set the base rate, job count and GPU cap.
+			spec, err := scenario.Get(*scenarioName)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Arrival = spec.Arrival
+		}
+		var err error
+		trace, err = workload.Generate(cfg)
 		if err != nil {
 			fatal(err)
 		}

@@ -211,6 +211,44 @@ func (s *Schedule) NumIdle() int {
 	return n
 }
 
+// AddServers grows the topology by n idle servers appended at the tail —
+// elastic scale-up, a repaired node rejoining, spot capacity restocked.
+// Existing assignments are untouched.
+func (s *Schedule) AddServers(n int) {
+	if n <= 0 {
+		return
+	}
+	s.topo.Servers += n
+	for i := 0; i < n*s.topo.GPUsPerServer; i++ {
+		s.slots = append(s.slots, Slot{Job: NoJob})
+	}
+}
+
+// RemoveServer deletes server idx from the topology — a failure, spot
+// preemption or maintenance drain. Its slots vanish (later servers shift
+// down one index) and the jobs that held at least one GPU on it are
+// returned in slot order; the caller decides their fate (typically a full
+// eviction, since losing any worker stops a gang). Jobs entirely on other
+// servers keep their GPU counts, batch totals and server spans.
+func (s *Schedule) RemoveServer(idx int) []JobID {
+	if idx < 0 || idx >= s.topo.Servers || s.topo.Servers <= 1 {
+		return nil
+	}
+	gps := s.topo.GPUsPerServer
+	lo, hi := idx*gps, (idx+1)*gps
+	seen := make(map[JobID]bool)
+	var victims []JobID
+	for _, sl := range s.slots[lo:hi] {
+		if !sl.Idle() && !seen[sl.Job] {
+			seen[sl.Job] = true
+			victims = append(victims, sl.Job)
+		}
+	}
+	s.slots = append(s.slots[:lo], s.slots[hi:]...)
+	s.topo.Servers--
+	return victims
+}
+
 // Evict removes job j from every GPU it occupies and returns the number of
 // slots freed.
 func (s *Schedule) Evict(j JobID) int {

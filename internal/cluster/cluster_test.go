@@ -125,6 +125,74 @@ func TestEvict(t *testing.T) {
 	}
 }
 
+func TestAddServersAppendsIdleCapacity(t *testing.T) {
+	s := NewSchedule(Topology{Servers: 2, GPUsPerServer: 4})
+	s.SetSlot(0, 1, 8)
+	s.AddServers(2)
+	if got := s.Topology(); got != (Topology{Servers: 4, GPUsPerServer: 4}) {
+		t.Fatalf("topology after AddServers(2) = %+v", got)
+	}
+	if s.NumGPUs() != 16 || s.NumIdle() != 15 {
+		t.Errorf("GPUs %d idle %d, want 16/15", s.NumGPUs(), s.NumIdle())
+	}
+	if s.Slot(0).Job != 1 {
+		t.Error("existing assignment lost on scale-up")
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+	s.AddServers(0)
+	s.AddServers(-3)
+	if s.Topology().Servers != 4 {
+		t.Error("non-positive AddServers changed the topology")
+	}
+}
+
+func TestRemoveServerEvictsOnlyItsJobsAndShifts(t *testing.T) {
+	s := NewSchedule(Topology{Servers: 3, GPUsPerServer: 2})
+	s.SetSlot(0, 1, 8) // job 1 entirely on server 0
+	s.SetSlot(1, 1, 8)
+	s.SetSlot(2, 2, 4) // job 2 spans servers 1 and 2
+	s.SetSlot(4, 2, 4)
+	s.SetSlot(5, 3, 16) // job 3 on server 2 only
+
+	victims := s.RemoveServer(1)
+	if len(victims) != 1 || victims[0] != 2 {
+		t.Fatalf("RemoveServer(1) victims = %v, want [2]", victims)
+	}
+	if got := s.Topology(); got != (Topology{Servers: 2, GPUsPerServer: 2}) {
+		t.Fatalf("topology = %+v", got)
+	}
+	// Job 1 untouched; job 3 shifted down one server but intact; job 2
+	// keeps its surviving slot (the caller evicts the remainder).
+	if s.GPUCount(1) != 2 || s.GlobalBatch(1) != 16 {
+		t.Errorf("job 1 disturbed: c=%d B=%d", s.GPUCount(1), s.GlobalBatch(1))
+	}
+	if s.GPUCount(3) != 1 || s.ServersOf(3) != 1 {
+		t.Errorf("job 3 lost slots: c=%d", s.GPUCount(3))
+	}
+	if s.GPUCount(2) != 1 {
+		t.Errorf("job 2 surviving slots = %d, want 1", s.GPUCount(2))
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemoveServerBounds(t *testing.T) {
+	s := NewSchedule(Topology{Servers: 2, GPUsPerServer: 2})
+	if v := s.RemoveServer(-1); v != nil {
+		t.Errorf("RemoveServer(-1) = %v", v)
+	}
+	if v := s.RemoveServer(2); v != nil {
+		t.Errorf("RemoveServer(out of range) = %v", v)
+	}
+	s.RemoveServer(0)
+	if v := s.RemoveServer(0); v != nil || s.Topology().Servers != 1 {
+		t.Error("the last server must never be removable")
+	}
+}
+
 func TestCloneIsDeep(t *testing.T) {
 	s := NewSchedule(Topology{Servers: 1, GPUsPerServer: 2})
 	s.SetSlot(0, 1, 8)

@@ -5,19 +5,22 @@ import (
 	"hash/fnv"
 
 	"repro/internal/cluster"
+	"repro/internal/scenario"
 )
 
 // Cell is the unit of simulation work and the shared-cache key: one
-// scheduler replaying one trace on one cluster capacity.
+// scheduler replaying one trace on one cluster capacity under one
+// scenario (how the world changes during the run).
 type Cell struct {
 	Scheduler string // schedulers registry name ("ones", "drl", …)
-	Capacity  int    // total GPUs (0 ⇒ the paper's 64-GPU Longhorn testbed)
+	Capacity  int    // initial total GPUs (0 ⇒ the paper's 64-GPU Longhorn testbed)
 	TraceSeed int64  // workload trace seed (0 ⇒ the master seed)
+	Scenario  string // scenario registry name ("" ⇒ "steady")
 }
 
 // String renders the cell for progress and error reporting.
 func (c Cell) String() string {
-	return fmt.Sprintf("%s/%dgpu/trace%d", c.Scheduler, c.Capacity, c.TraceSeed)
+	return fmt.Sprintf("%s/%dgpu/trace%d/%s", c.Scheduler, c.Capacity, c.TraceSeed, c.Scenario)
 }
 
 // normalize resolves the cell's zero-value defaults against the params.
@@ -28,6 +31,9 @@ func (c Cell) normalize(p Params) Cell {
 	if c.TraceSeed == 0 {
 		c.TraceSeed = p.Seed
 	}
+	if c.Scenario == "" {
+		c.Scenario = scenario.Steady
+	}
 	return c
 }
 
@@ -37,13 +43,13 @@ func (c Cell) Topology() cluster.Topology {
 	return cluster.Topology{Servers: (c.Capacity + 3) / 4, GPUsPerServer: 4}
 }
 
-// schedulerSeed derives the cell's scheduler RNG seed from the master
-// seed. The derivation depends only on the cell key — never on execution
-// order — so results are identical at any worker count. FNV-1a mixes the
-// key; a splitmix64 finalizer scatters related master seeds.
-func (c Cell) schedulerSeed(master int64) int64 {
+// deriveSeed turns a salted cell key into an RNG seed. The derivation
+// depends only on the key — never on execution order — so results are
+// identical at any worker count. FNV-1a mixes the key; a splitmix64
+// finalizer scatters related master seeds.
+func deriveSeed(master int64, key string) int64 {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|%d|%d", c.Scheduler, c.Capacity, c.TraceSeed)
+	h.Write([]byte(key))
 	z := uint64(master)*0x9E3779B97F4A7C15 ^ h.Sum64()
 	z ^= z >> 30
 	z *= 0xBF58476D1CE4E5B9
@@ -55,6 +61,20 @@ func (c Cell) schedulerSeed(master int64) int64 {
 		s = 1
 	}
 	return s
+}
+
+// schedulerSeed derives the cell's scheduler RNG seed from the master
+// seed and the full cell key.
+func (c Cell) schedulerSeed(master int64) int64 {
+	return deriveSeed(master, fmt.Sprintf("%s|%d|%d|%s", c.Scheduler, c.Capacity, c.TraceSeed, c.Scenario))
+}
+
+// scenarioSeed derives the capacity-timeline seed. It deliberately
+// excludes the scheduler: every scheduler facing this scenario cell sees
+// the identical sequence of failures and preemptions, preserving the
+// paired comparisons the Wilcoxon analysis relies on.
+func (c Cell) scenarioSeed(master int64) int64 {
+	return deriveSeed(master, fmt.Sprintf("scenario|%d|%d|%s", c.Capacity, c.TraceSeed, c.Scenario))
 }
 
 // ComparisonCells returns one cell per scheduler at the given capacity,
@@ -74,6 +94,21 @@ func SweepCells(scheds []string, capacities []int) []Cell {
 	for _, s := range scheds {
 		for _, cap := range capacities {
 			cells = append(cells, Cell{Scheduler: s, Capacity: cap})
+		}
+	}
+	return cells
+}
+
+// ScenarioCells returns the scenario × scheduler cross product at the
+// given capacity, scenario-major (all schedulers under the first
+// scenario first — the row order of the scenario-sweep table). All cells
+// share the master trace seed; scenarios with identical arrival specs
+// replay the identical trace.
+func ScenarioCells(scheds, scenarios []string, capacity int) []Cell {
+	cells := make([]Cell, 0, len(scheds)*len(scenarios))
+	for _, scn := range scenarios {
+		for _, s := range scheds {
+			cells = append(cells, Cell{Scheduler: s, Capacity: capacity, Scenario: scn})
 		}
 	}
 	return cells

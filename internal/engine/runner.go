@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/scenario"
 	"repro/internal/schedulers"
 	"repro/internal/simulator"
 	"repro/internal/workload"
@@ -27,7 +28,16 @@ type Runner struct {
 
 	mu     sync.Mutex
 	cells  map[Cell]*cellEntry
-	traces map[int64]*traceEntry
+	traces map[traceKey]*traceEntry
+}
+
+// traceKey identifies a memoized trace: the seed plus the arrival
+// process that shaped it. Scenarios sharing an arrival spec (steady and
+// every pure-capacity scenario) share one trace, so cross-scenario
+// comparisons of capacity effects stay paired on identical job streams.
+type traceKey struct {
+	seed    int64
+	arrival scenario.ArrivalSpec
 }
 
 type cellEntry struct {
@@ -77,7 +87,7 @@ func NewRunner(p Params) *Runner {
 		workers: workers,
 		sem:     make(chan struct{}, workers),
 		cells:   make(map[Cell]*cellEntry),
-		traces:  make(map[int64]*traceEntry),
+		traces:  make(map[traceKey]*traceEntry),
 	}
 }
 
@@ -92,6 +102,14 @@ func (r *Runner) CachedCells() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.cells)
+}
+
+// CachedTraces reports how many distinct traces have been generated —
+// one per (seed, arrival-process) pair, however many scenarios share it.
+func (r *Runner) CachedTraces() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.traces)
 }
 
 // entry returns the (possibly new) singleflight entry for a cell.
@@ -155,24 +173,35 @@ func (r *Runner) Compare(capacity int, scheds []string) ([]*simulator.Result, er
 	return r.Results(ComparisonCells(scheds, capacity))
 }
 
-// trace returns the memoized workload trace for a seed.
-func (r *Runner) trace(seed int64) (*workload.Trace, error) {
+// trace returns the memoized workload trace for a (seed, arrival) pair.
+func (r *Runner) trace(seed int64, arrival scenario.ArrivalSpec) (*workload.Trace, error) {
+	key := traceKey{seed: seed, arrival: arrival}
 	r.mu.Lock()
-	e, ok := r.traces[seed]
+	e, ok := r.traces[key]
 	if !ok {
 		e = &traceEntry{}
-		r.traces[seed] = e
+		r.traces[key] = e
 	}
 	r.mu.Unlock()
-	e.once.Do(func() { e.trace, e.err = workload.Generate(r.params.TraceConfig(seed)) })
+	e.once.Do(func() {
+		cfg := r.params.TraceConfig(seed)
+		cfg.Arrival = arrival
+		e.trace, e.err = workload.Generate(cfg)
+	})
 	return e.trace, e.err
 }
 
-// runCell executes one simulation: generate (or recall) the trace, build
-// the scheduler from the registry with the cell-derived seed, simulate.
+// runCell executes one simulation: resolve the scenario, generate (or
+// recall) the trace its arrival process shapes, build the scheduler from
+// the registry with the cell-derived seed, expand the capacity timeline,
+// simulate.
 func (r *Runner) runCell(c Cell) (*simulator.Result, error) {
 	start := time.Now()
-	trace, err := r.trace(c.TraceSeed)
+	scn, err := scenario.Get(c.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	trace, err := r.trace(c.TraceSeed, scn.Arrival)
 	if err != nil {
 		return nil, err
 	}
@@ -197,6 +226,10 @@ func (r *Runner) runCell(c Cell) (*simulator.Result, error) {
 	}
 	simCfg := simulator.DefaultConfig(trace)
 	simCfg.Topo = c.Topology()
+	// The capacity timeline is seeded from the cell key minus the
+	// scheduler, so paired comparisons face the identical world.
+	simCfg.Capacity = scn.Capacity.Timeline(c.scenarioSeed(r.params.Seed), simCfg.MaxTime)
+	simCfg.MinServers = scn.Capacity.MinServers
 	res, err := simulator.Run(simCfg, sched)
 	if err != nil {
 		return nil, err

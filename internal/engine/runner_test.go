@@ -24,7 +24,13 @@ func testParams(workers int) Params {
 }
 
 func testCells() []Cell {
-	return SweepCells([]string{"ones", "fifo", "sjf", "tiresias"}, []int{16, 32})
+	cells := SweepCells([]string{"ones", "fifo", "sjf", "tiresias"}, []int{16, 32})
+	// Scenario cells: non-stationary arrivals and capacity churn must be
+	// just as deterministic as the fixed-world grid.
+	cells = append(cells, ScenarioCells(
+		[]string{"ones", "tiresias"},
+		[]string{"diurnal", "node-failure", "spot"}, 32)...)
+	return cells
 }
 
 func TestRunnerDeterministicAcrossWorkerCounts(t *testing.T) {
@@ -124,6 +130,63 @@ func TestRunnerUnknownScheduler(t *testing.T) {
 	}
 }
 
+func TestRunnerUnknownScenario(t *testing.T) {
+	r := NewRunner(testParams(1))
+	_, err := r.Result(Cell{Scheduler: "fifo", Capacity: 16, Scenario: "bogus"})
+	if err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func TestRunnerSharesTracesAcrossScenarios(t *testing.T) {
+	r := NewRunner(testParams(2))
+	// steady and node-failure share the Poisson arrival spec ⇒ one
+	// trace; diurnal adds a second.
+	cells := []Cell{
+		{Scheduler: "fifo", Capacity: 16},
+		{Scheduler: "fifo", Capacity: 16, Scenario: "node-failure"},
+		{Scheduler: "fifo", Capacity: 16, Scenario: "diurnal"},
+	}
+	if _, err := r.Results(cells); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.CachedTraces(); got != 2 {
+		t.Errorf("CachedTraces = %d, want 2 (steady+node-failure share, diurnal differs)", got)
+	}
+}
+
+func TestRunnerNodeFailureEvictsButCompletes(t *testing.T) {
+	r := NewRunner(testParams(2))
+	res, err := r.Result(Cell{Scheduler: "tiresias", Capacity: 32, Scenario: "node-failure"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CapacityEvents == 0 {
+		t.Error("node-failure scenario applied no capacity events")
+	}
+	if res.Evictions == 0 {
+		t.Error("node-failure scenario evicted no jobs")
+	}
+	if res.Truncated {
+		t.Errorf("%d jobs never finished under node failures", res.Unfinished)
+	}
+}
+
+func TestScenarioSeedPairsAcrossSchedulers(t *testing.T) {
+	a := Cell{Scheduler: "ones", Capacity: 64, TraceSeed: 1, Scenario: "node-failure"}
+	b := Cell{Scheduler: "tiresias", Capacity: 64, TraceSeed: 1, Scenario: "node-failure"}
+	if a.scenarioSeed(1) != b.scenarioSeed(1) {
+		t.Error("schedulers facing the same scenario cell must draw the same capacity timeline")
+	}
+	c := Cell{Scheduler: "ones", Capacity: 64, TraceSeed: 1, Scenario: "spot"}
+	if a.scenarioSeed(1) == c.scenarioSeed(1) {
+		t.Error("different scenarios share a capacity-timeline seed")
+	}
+	if a.scenarioSeed(1) == a.scenarioSeed(2) {
+		t.Error("scenario seed ignores the master seed")
+	}
+}
+
 func TestCellSchedulerSeedStableAndDistinct(t *testing.T) {
 	a := Cell{Scheduler: "ones", Capacity: 16, TraceSeed: 1}
 	if a.schedulerSeed(1) != a.schedulerSeed(1) {
@@ -135,6 +198,7 @@ func TestCellSchedulerSeedStableAndDistinct(t *testing.T) {
 		{Scheduler: "drl", Capacity: 16, TraceSeed: 1},
 		{Scheduler: "ones", Capacity: 32, TraceSeed: 1},
 		{Scheduler: "ones", Capacity: 16, TraceSeed: 2},
+		{Scheduler: "ones", Capacity: 16, TraceSeed: 1, Scenario: "node-failure"},
 	} {
 		for _, master := range []int64{1, 2} {
 			s := c.schedulerSeed(master)

@@ -485,7 +485,10 @@ func (e *Engine) Init(ctx *Context) {
 // population with the four operators, select the best K by sampled score,
 // and return the champion S*.
 func (e *Engine) Iterate(ctx *Context) *cluster.Schedule {
-	if len(e.pop) == 0 {
+	// A topology change (elastic capacity, node failure) invalidates the
+	// whole population: its genomes are defined over the old GPU axis.
+	// Restart the search from fresh genomes on the new topology.
+	if len(e.pop) == 0 || e.pop[0].Topology() != ctx.Topo {
 		e.Init(ctx)
 	}
 	// Describe every candidate generation serially (parent choices and a

@@ -8,7 +8,7 @@ package experiments
 import "repro/internal/engine"
 
 // init registers the experiments in paper order — the order `-exp all`
-// renders in.
+// renders in — followed by the beyond-the-paper extensions.
 func init() {
 	engine.RegisterExperiment(fig2)
 	engine.RegisterExperiment(fig3)
@@ -22,4 +22,5 @@ func init() {
 	engine.RegisterExperiment(fig16)
 	engine.RegisterExperiment(fig17)
 	engine.RegisterExperiment(fig18)
+	engine.RegisterExperiment(scenarioSweep)
 }

@@ -54,7 +54,7 @@ func TestByteIdenticalOutputAcrossWorkerCounts(t *testing.T) {
 
 func TestRegistryHasEveryPaperExperiment(t *testing.T) {
 	want := []string{"fig2", "fig3", "fig6", "table2", "table3", "fig13", "fig14",
-		"fig15", "table4", "fig16", "fig17", "fig18"}
+		"fig15", "table4", "fig16", "fig17", "fig18", "scenario"}
 	got := engine.ExperimentNames()
 	if len(got) != len(want) {
 		t.Fatalf("registered %d experiments %v, want %d", len(got), got, len(want))
@@ -139,6 +139,28 @@ func TestFig16QuickScale(t *testing.T) {
 	out := runExp(t, quickRunner(), "fig16")
 	if !strings.Contains(out, "vgg16") {
 		t.Errorf("Fig16 render missing models:\n%s", out)
+	}
+}
+
+func TestScenarioSweepQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the evolutionary scheduler across five scenarios")
+	}
+	p := engine.QuickParams()
+	p.Jobs = 12
+	p.Population = 6
+	r := engine.NewRunner(p)
+	out := runExp(t, r, "scenario")
+	for _, want := range []string{"Scenario sweep", "steady", "diurnal", "burst",
+		"spot", "node-failure", "evictions", "makespan", "ONES", "Tiresias"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scenario sweep output missing %q:\n%s", want, out)
+		}
+	}
+	// The pure-capacity scenarios must share the steady trace: 5
+	// scenarios but only 3 distinct arrival processes.
+	if got := r.CachedTraces(); got != 3 {
+		t.Errorf("CachedTraces = %d, want 3 (steady/spot/node-failure share one)", got)
 	}
 }
 

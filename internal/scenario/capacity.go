@@ -1,0 +1,115 @@
+package scenario
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// CapacityEventKind classifies how the cluster changes.
+type CapacityEventKind string
+
+// Capacity event kinds. Join adds servers; the other three remove them —
+// they differ only in provenance (reporting), the simulator treats every
+// removal as "the server's jobs are evicted and requeued".
+const (
+	CapacityJoin    CapacityEventKind = "join"
+	CapacityLeave   CapacityEventKind = "leave"   // planned scale-down / maintenance drain
+	CapacityFail    CapacityEventKind = "fail"    // node failure
+	CapacityPreempt CapacityEventKind = "preempt" // spot instance reclaimed
+)
+
+// CapacityEvent is one entry of a capacity timeline.
+type CapacityEvent struct {
+	Time float64           `json:"time"`
+	Kind CapacityEventKind `json:"kind"`
+	// Servers is how many servers join or leave (0 ⇒ 1).
+	Servers int `json:"servers,omitempty"`
+	// Pick ∈ [0,1) selects which server a removal hits, scaled by the
+	// live server count at apply time — precomputing the fraction rather
+	// than an index keeps the timeline valid whatever the cluster size
+	// has become by then.
+	Pick float64 `json:"pick,omitempty"`
+	// Restocks marks a join that returns capacity removed by an earlier
+	// event of the given kind (a repaired node, restocked spot capacity).
+	// The simulator skips it when that removal never actually happened
+	// (e.g. it was clamped at the MinServers floor), so the cluster can
+	// never grow past its physical size through repairs alone. Empty for
+	// planned joins, which are deliberate growth.
+	Restocks CapacityEventKind `json:"restocks,omitempty"`
+}
+
+// DefaultHorizon bounds stochastic timeline generation: past it the
+// cluster stops churning. Two simulated hours — the paper's workload is
+// tuned so jobs "basically finish within 2 hours".
+const DefaultHorizon = 7200.0
+
+// CapacitySpec describes how cluster capacity evolves: a deterministic
+// planned schedule plus seeded stochastic failure/preemption processes.
+type CapacitySpec struct {
+	// Planned events fire at fixed times (elastic scale-up/down,
+	// maintenance drains). Times are relative to simulation start.
+	Planned []CapacityEvent `json:"planned,omitempty"`
+
+	// FailMTBF is the cluster-wide mean time between node failures in
+	// seconds (0 ⇒ no failures). A failed server rejoins FailRepair
+	// seconds later (0 ⇒ lost for the rest of the run).
+	FailMTBF   float64 `json:"fail_mtbf,omitempty"`
+	FailRepair float64 `json:"fail_repair,omitempty"`
+
+	// PreemptMTBF is the mean time between spot reclaims (0 ⇒ none);
+	// reclaimed capacity is restocked PreemptRestock seconds later.
+	PreemptMTBF    float64 `json:"preempt_mtbf,omitempty"`
+	PreemptRestock float64 `json:"preempt_restock,omitempty"`
+
+	// MinServers floors the cluster: removals that would shrink it below
+	// are skipped by the simulator (0 ⇒ 1).
+	MinServers int `json:"min_servers,omitempty"`
+
+	// Horizon stops stochastic event generation (0 ⇒ DefaultHorizon).
+	Horizon float64 `json:"horizon,omitempty"`
+}
+
+// IsStatic reports whether the capacity never changes.
+func (c CapacitySpec) IsStatic() bool {
+	return len(c.Planned) == 0 && c.FailMTBF <= 0 && c.PreemptMTBF <= 0
+}
+
+// Timeline expands the spec into a concrete, time-sorted event list. The
+// stochastic draws depend only on (spec, seed), never on simulation
+// state, so every scheduler facing the same scenario cell sees the
+// identical sequence of cluster changes — the pairing that keeps
+// cross-scheduler comparisons meaningful. maxHorizon (typically the
+// simulator's MaxTime) additionally caps generation.
+func (c CapacitySpec) Timeline(seed int64, maxHorizon float64) []CapacityEvent {
+	horizon := c.Horizon
+	if horizon <= 0 {
+		horizon = DefaultHorizon
+	}
+	if maxHorizon > 0 && maxHorizon < horizon {
+		horizon = maxHorizon
+	}
+	var events []CapacityEvent
+	for _, ev := range c.Planned {
+		if ev.Time <= horizon {
+			events = append(events, ev)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	draw := func(mtbf, restock float64, kind CapacityEventKind) {
+		if mtbf <= 0 {
+			return
+		}
+		for t := rng.ExpFloat64() * mtbf; t <= horizon; t += rng.ExpFloat64() * mtbf {
+			events = append(events, CapacityEvent{Time: t, Kind: kind, Servers: 1, Pick: rng.Float64()})
+			if restock > 0 {
+				events = append(events, CapacityEvent{Time: t + restock, Kind: CapacityJoin, Servers: 1, Restocks: kind})
+			}
+		}
+	}
+	draw(c.FailMTBF, c.FailRepair, CapacityFail)
+	draw(c.PreemptMTBF, c.PreemptRestock, CapacityPreempt)
+	// Stable sort: the pre-sort order (planned, failures, preemptions) is
+	// deterministic, so ties at equal times resolve identically every run.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Time < events[j].Time })
+	return events
+}

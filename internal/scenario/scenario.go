@@ -1,0 +1,147 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Spec is a named description of how the world changes during a run:
+// the arrival process a trace is generated from and the capacity
+// timeline the cluster follows. Experiments compose scenarios by name —
+// a simulation cell is (scheduler, capacity, trace seed, scenario).
+type Spec struct {
+	// Name is the flag-facing registry identifier ("steady", "diurnal", …).
+	Name string
+	// Title is a one-line description for listings.
+	Title string
+	// Arrival shapes the workload trace (zero ⇒ stationary Poisson at
+	// the trace config's rate).
+	Arrival ArrivalSpec
+	// Capacity mutates the cluster during the run (zero ⇒ fixed).
+	Capacity CapacitySpec
+}
+
+// Built-in scenario names.
+const (
+	Steady      = "steady"
+	Diurnal     = "diurnal"
+	Burst       = "burst"
+	HeavyTail   = "heavy-tail"
+	Elastic     = "elastic"
+	Spot        = "spot"
+	NodeFailure = "node-failure"
+)
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]Spec)
+)
+
+// Register adds a named scenario. Re-registering a name panics: two
+// world models silently shadowing each other would corrupt experiments.
+func Register(s Spec) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if s.Name == "" {
+		panic("scenario: Register with empty name")
+	}
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate registration of %q", s.Name))
+	}
+	registry[s.Name] = s
+}
+
+// Lookup returns the named scenario.
+func Lookup(name string) (Spec, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Get returns the named scenario or an error listing the known names.
+func Get(name string) (Spec, error) {
+	if s, ok := Lookup(name); ok {
+		return s, nil
+	}
+	return Spec{}, fmt.Errorf("scenario: unknown scenario %q (known: %v)", name, Names())
+}
+
+// Names returns the registered scenario names, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Specs returns every registered scenario sorted by name.
+func Specs() []Spec {
+	out := make([]Spec, 0)
+	for _, n := range Names() {
+		s, _ := Lookup(n)
+		out = append(out, s)
+	}
+	return out
+}
+
+// init registers the built-in scenarios. Timescales follow the
+// evaluation workload (interarrival ~12 s, JCTs of hundreds of seconds,
+// makespans of a few thousand): each scenario perturbs the world several
+// times within one run without making it unschedulable.
+func init() {
+	Register(Spec{
+		Name:  Steady,
+		Title: "fixed cluster, stationary Poisson arrivals (the paper's testbed)",
+	})
+	Register(Spec{
+		Name:    Diurnal,
+		Title:   "sinusoidal arrival rate — compressed day/night load",
+		Arrival: ArrivalSpec{Kind: ArrivalDiurnal, Period: 600, Amplitude: 0.8},
+	})
+	Register(Spec{
+		Name:    Burst,
+		Title:   "5× arrival bursts of 60 s every 400 s over a quiet baseline",
+		Arrival: ArrivalSpec{Kind: ArrivalBurst, BurstEvery: 400, BurstLen: 60, BurstFactor: 5},
+	})
+	Register(Spec{
+		Name:    HeavyTail,
+		Title:   "Pareto interarrival times — clustered submissions, long lulls",
+		Arrival: ArrivalSpec{Kind: ArrivalHeavyTail, Alpha: 1.5},
+	})
+	Register(Spec{
+		Name:  Elastic,
+		Title: "planned autoscaling: drain a quarter of the servers, later overshoot back",
+		Capacity: CapacitySpec{
+			Planned: []CapacityEvent{
+				{Time: 240, Kind: CapacityLeave, Servers: 4, Pick: 0.999},
+				{Time: 720, Kind: CapacityJoin, Servers: 6},
+				{Time: 1500, Kind: CapacityLeave, Servers: 2, Pick: 0.999},
+			},
+			MinServers: 2,
+		},
+	})
+	Register(Spec{
+		Name:  Spot,
+		Title: "spot-instance preemptions every ~400 s, capacity restocked after 800 s",
+		Capacity: CapacitySpec{
+			PreemptMTBF:    400,
+			PreemptRestock: 800,
+			MinServers:     2,
+		},
+	})
+	Register(Spec{
+		Name:  NodeFailure,
+		Title: "node failures every ~300 s, repaired after 900 s",
+		Capacity: CapacitySpec{
+			FailMTBF:   300,
+			FailRepair: 900,
+			MinServers: 2,
+		},
+	})
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/perfmodel"
 	"repro/internal/scaling"
+	"repro/internal/scenario"
 	"repro/internal/workload"
 )
 
@@ -87,6 +88,9 @@ const (
 	TriggerEpochEnd
 	TriggerCompletion
 	TriggerTick
+	// TriggerCapacity fires after the cluster topology changed (servers
+	// joined or left); evicted jobs are already back in the queue.
+	TriggerCapacity
 )
 
 // String renders the trigger name.
@@ -100,6 +104,8 @@ func (t Trigger) String() string {
 		return "completion"
 	case TriggerTick:
 		return "tick"
+	case TriggerCapacity:
+		return "capacity"
 	default:
 		return "unknown"
 	}
@@ -150,6 +156,12 @@ const (
 	EventRescale  EventKind = "rescale"
 	EventPreempt  EventKind = "preempt"
 	EventComplete EventKind = "complete"
+	// EventEvict marks a job forced off its GPUs by a server loss (as
+	// opposed to a scheduler-chosen preemption). The job requeues.
+	EventEvict EventKind = "evict"
+	// EventCapacity marks a cluster size change; GPUs carries the new
+	// total capacity.
+	EventCapacity EventKind = "capacity"
 )
 
 // Event is one entry of the optional scheduling event log.
@@ -172,17 +184,30 @@ type Result struct {
 	Unfinished int
 	// Reconfigs counts deployed allocation changes (rescale/preempt/start).
 	Reconfigs int
+	// Evictions counts jobs forced off their GPUs by server losses (the
+	// scenario's failures, preemptions and drains), each later requeued.
+	Evictions int
+	// CapacityEvents counts applied cluster topology changes.
+	CapacityEvents int
 	// BusyGPUSeconds accumulates Σ (seconds × GPUs held) over all jobs.
 	BusyGPUSeconds float64
-	// TotalGPUs is the cluster capacity, for utilization reporting.
+	// TotalGPUs is the initial cluster capacity, for reporting.
 	TotalGPUs int
+	// CapacityGPUSeconds integrates the (possibly elastic) capacity over
+	// the run: ∫ totalGPUs(t) dt from zero to the makespan.
+	CapacityGPUSeconds float64
 	// Events is the scheduling event log (only when Config.RecordEvents).
 	Events []Event
 }
 
 // Utilization returns the average fraction of the cluster busy between
-// time zero and the makespan.
+// time zero and the makespan, against the capacity actually available at
+// each instant (an elastic scenario shrinks the denominator while
+// servers are away).
 func (r *Result) Utilization() float64 {
+	if r.CapacityGPUSeconds > 0 {
+		return r.BusyGPUSeconds / r.CapacityGPUSeconds
+	}
 	if r.Makespan <= 0 || r.TotalGPUs <= 0 {
 		return 0
 	}
@@ -232,6 +257,13 @@ type Config struct {
 	WarmupSec float64 // seconds before a fresh job's throughput stabilizes (informational)
 	// RecordEvents retains a per-job scheduling event log in the Result.
 	RecordEvents bool
+	// Capacity is the scenario's capacity timeline: servers joining and
+	// leaving while the trace replays. Jobs holding GPUs on a removed
+	// server are evicted and requeued. Empty ⇒ the cluster is fixed.
+	Capacity []scenario.CapacityEvent
+	// MinServers floors the cluster size; removals that would shrink it
+	// below are skipped (0 ⇒ 1).
+	MinServers int
 }
 
 // DefaultConfig returns a 64-GPU Longhorn-like configuration for the given
@@ -276,13 +308,14 @@ const (
 	evArrival eventKind = iota
 	evEpochEnd
 	evTick
+	evCapacity
 )
 
 type event struct {
 	t    float64
 	kind eventKind
 	job  cluster.JobID
-	seq  int
+	seq  int // epoch-event validity sequence, or capacity-timeline index
 }
 
 type eventHeap []event
@@ -296,7 +329,11 @@ func (h eventHeap) Less(i, j int) bool {
 	if h[i].kind != h[j].kind {
 		return h[i].kind < h[j].kind
 	}
-	return h[i].job < h[j].job
+	if h[i].job != h[j].job {
+		return h[i].job < h[j].job
+	}
+	// Same-time capacity events must apply in timeline index order.
+	return h[i].seq < h[j].seq
 }
 func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
 func (h *eventHeap) Pop() any {
@@ -313,6 +350,7 @@ type engine struct {
 	sched Scheduler
 
 	now     float64
+	topo    cluster.Topology // live topology (capacity events mutate it)
 	jobs    map[cluster.JobID]*jobState
 	order   []cluster.JobID // arrival order of alive job IDs
 	current *cluster.Schedule
@@ -325,9 +363,17 @@ type engine struct {
 	throughputFn func(id cluster.JobID, B, c, servers int) float64
 
 	reconfigs      int
+	evictions      int
+	capacityEvents int
 	busyGPUSeconds float64
-	metrics        []JobMetric
-	eventLog       []Event
+	capGPUSeconds  float64 // ∫ capacity dt, closed at each topology change
+	capSegStart    float64 // when the current capacity segment began
+	// restockable counts servers actually removed per provenance kind and
+	// not yet returned: a restock join consumes from it, so a removal
+	// clamped at the MinServers floor never produces a phantom repair.
+	restockable map[scenario.CapacityEventKind]int
+	metrics     []JobMetric
+	eventLog    []Event
 }
 
 // eventHeapPool recycles event-heap backing arrays across runs: a
@@ -353,6 +399,7 @@ func Run(cfg Config, sched Scheduler) (*Result, error) {
 	e := &engine{
 		cfg:     cfg,
 		sched:   sched,
+		topo:    cfg.Topo,
 		jobs:    make(map[cluster.JobID]*jobState, len(cfg.Trace.Jobs)),
 		current: cluster.NewSchedule(cfg.Topo),
 		events:  (*hp)[:0],
@@ -386,17 +433,33 @@ func Run(cfg Config, sched Scheduler) (*Result, error) {
 	if iv := sched.TickInterval(); iv > 0 {
 		heap.Push(&e.events, event{t: iv, kind: evTick})
 	}
+	if len(cfg.Capacity) > 0 {
+		e.restockable = make(map[scenario.CapacityEventKind]int)
+	}
+	for i, cev := range cfg.Capacity {
+		if i > 0 && cev.Time < cfg.Capacity[i-1].Time {
+			return nil, fmt.Errorf("simulator: capacity timeline out of order at %d (%v after %v)",
+				i, cev.Time, cfg.Capacity[i-1].Time)
+		}
+		if cev.Time <= cfg.MaxTime {
+			heap.Push(&e.events, event{t: cev.Time, kind: evCapacity, seq: i})
+		}
+	}
 	if err := e.loop(); err != nil {
 		return nil, err
 	}
+	e.capGPUSeconds += (e.now - e.capSegStart) * float64(e.topo.TotalGPUs())
 	res := &Result{
-		Scheduler:      sched.Name(),
-		Jobs:           e.metrics,
-		Makespan:       e.now,
-		Reconfigs:      e.reconfigs,
-		BusyGPUSeconds: e.busyGPUSeconds,
-		TotalGPUs:      cfg.Topo.TotalGPUs(),
-		Events:         e.eventLog,
+		Scheduler:          sched.Name(),
+		Jobs:               e.metrics,
+		Makespan:           e.now,
+		Reconfigs:          e.reconfigs,
+		Evictions:          e.evictions,
+		CapacityEvents:     e.capacityEvents,
+		BusyGPUSeconds:     e.busyGPUSeconds,
+		TotalGPUs:          cfg.Topo.TotalGPUs(),
+		CapacityGPUSeconds: e.capGPUSeconds,
+		Events:             e.eventLog,
 	}
 	for _, js := range e.jobs {
 		if !js.done {
@@ -450,6 +513,12 @@ func (e *engine) loop() error {
 			}
 			if alive := e.aliveCount(); alive > 0 || e.pendingArrivals() {
 				heap.Push(&e.events, event{t: e.now + e.sched.TickInterval(), kind: evTick})
+			}
+		case evCapacity:
+			if e.applyCapacity(e.cfg.Capacity[ev.seq]) {
+				if err := e.decide(TriggerCapacity); err != nil {
+					return err
+				}
 			}
 		}
 		if e.allDone() {
@@ -553,6 +622,83 @@ func (e *engine) scheduleEpochEnd(id cluster.JobID) {
 	heap.Push(&e.events, event{t: t, kind: evEpochEnd, job: id, seq: js.seq})
 }
 
+// applyCapacity mutates the live topology per one scenario event:
+// joining servers appear idle at the tail; a removal deletes the picked
+// server and fully evicts every job that held a GPU on it (losing any
+// worker stops a gang), requeuing them for the scheduler's next decision.
+// Returns whether the topology actually changed — an event clamped to a
+// no-op (MinServers floor, phantom restock) must not wake the scheduler.
+func (e *engine) applyCapacity(cev scenario.CapacityEvent) bool {
+	// Settle accounting and training progress at the old capacity.
+	for _, id := range e.order {
+		e.advance(e.jobs[id])
+	}
+	e.capGPUSeconds += (e.now - e.capSegStart) * float64(e.topo.TotalGPUs())
+	e.capSegStart = e.now
+	n := cev.Servers
+	if n <= 0 {
+		n = 1
+	}
+	if cev.Kind == scenario.CapacityJoin {
+		if cev.Restocks != "" {
+			// A repair only returns capacity that actually left: if the
+			// paired removal was clamped at the MinServers floor, there
+			// is nothing to restock.
+			if avail := e.restockable[cev.Restocks]; avail < n {
+				n = avail
+			}
+			e.restockable[cev.Restocks] -= n
+		}
+		e.current.AddServers(n)
+	} else {
+		min := e.cfg.MinServers
+		if min < 1 {
+			min = 1
+		}
+		removed := 0
+		for i := 0; i < n && e.current.Topology().Servers > min; i++ {
+			servers := e.current.Topology().Servers
+			idx := int(cev.Pick * float64(servers))
+			if idx >= servers {
+				idx = servers - 1
+			}
+			if idx < 0 {
+				idx = 0
+			}
+			for _, id := range e.current.RemoveServer(idx) {
+				e.evictJob(id)
+			}
+			removed++
+		}
+		e.restockable[cev.Kind] += removed
+	}
+	next := e.current.Topology()
+	if next == e.topo {
+		return false // clamped to a no-op: the world did not change
+	}
+	e.topo = next
+	e.capacityEvents++
+	e.logEvent(Event{Time: e.now, Kind: EventCapacity, GPUs: e.topo.TotalGPUs()})
+	return true
+}
+
+// evictJob forces a job off its GPUs after a server loss. Unlike a
+// scheduler preemption nothing is saved gracefully: the job keeps its
+// training progress (epoch-boundary semantics) but goes back to the
+// queue until the next deployment readmits it.
+func (e *engine) evictJob(id cluster.JobID) {
+	js := e.jobs[id]
+	if js == nil || js.done || !js.arrived || js.gpus == 0 {
+		return
+	}
+	e.current.Evict(id) // slots surviving on other servers
+	js.gpus, js.batch, js.servers = 0, 0, 0
+	js.pausedUntil = e.now
+	js.seq++ // invalidate any outstanding epoch event
+	e.evictions++
+	e.logEvent(Event{Time: e.now, Kind: EventEvict, Job: id})
+}
+
 // logEvent appends to the event log when recording is enabled.
 func (e *engine) logEvent(ev Event) {
 	if e.cfg.RecordEvents {
@@ -603,7 +749,7 @@ func (e *engine) decide(tr Trigger) error {
 // (see the View lifetime contract).
 func (e *engine) snapshot() *View {
 	if e.viewSched == nil {
-		e.viewSched = cluster.NewSchedule(e.cfg.Topo)
+		e.viewSched = cluster.NewSchedule(e.topo)
 	}
 	e.viewSched.CopyFrom(e.current)
 	if e.throughputFn == nil {
@@ -617,7 +763,7 @@ func (e *engine) snapshot() *View {
 	}
 	v := &e.view
 	v.Now = e.now
-	v.Topo = e.cfg.Topo
+	v.Topo = e.topo
 	v.Current = e.viewSched
 	v.Throughput = e.throughputFn
 	v.Jobs = v.Jobs[:0]
@@ -654,8 +800,8 @@ func (e *engine) snapshot() *View {
 // apply validates and deploys a new schedule, charging reconfiguration
 // costs to every job whose allocation changed.
 func (e *engine) apply(next *cluster.Schedule) error {
-	if next.Topology() != e.cfg.Topo {
-		return fmt.Errorf("simulator: schedule topology %+v != cluster %+v", next.Topology(), e.cfg.Topo)
+	if next.Topology() != e.topo {
+		return fmt.Errorf("simulator: schedule topology %+v != cluster %+v", next.Topology(), e.topo)
 	}
 	if err := next.Validate(); err != nil {
 		return err

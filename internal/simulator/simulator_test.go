@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/scenario"
 	"repro/internal/workload"
 )
 
@@ -341,5 +342,215 @@ func TestEventLogRecordsLifecycle(t *testing.T) {
 	}
 	if len(res2.Events) != 0 {
 		t.Error("events recorded without RecordEvents")
+	}
+}
+
+// failureTimeline removes one server shortly into the run and repairs it
+// later — early enough that jobs are guaranteed to be holding GPUs.
+func failureTimeline(fail, repair float64) []scenario.CapacityEvent {
+	return []scenario.CapacityEvent{
+		{Time: fail, Kind: scenario.CapacityFail, Servers: 1, Pick: 0.1},
+		{Time: repair, Kind: scenario.CapacityJoin, Servers: 1, Restocks: scenario.CapacityFail},
+	}
+}
+
+func TestNodeFailureEvictsAndRequeues(t *testing.T) {
+	cfg := smallConfig(t, 12)
+	cfg.RecordEvents = true
+	// Three failures spread across the run, each repaired: jobs must be
+	// evicted but every one of them still completes.
+	cfg.Capacity = []scenario.CapacityEvent{
+		{Time: 30, Kind: scenario.CapacityFail, Servers: 1, Pick: 0.0},
+		{Time: 200, Kind: scenario.CapacityJoin, Servers: 1},
+		{Time: 260, Kind: scenario.CapacityFail, Servers: 1, Pick: 0.5},
+		{Time: 500, Kind: scenario.CapacityJoin, Servers: 1},
+		{Time: 560, Kind: scenario.CapacityFail, Servers: 1, Pick: 0.9},
+		{Time: 900, Kind: scenario.CapacityJoin, Servers: 1},
+	}
+	cfg.MinServers = 2
+	res, err := Run(cfg, &fifoTest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evictions == 0 {
+		t.Error("node failures under a loaded cluster must evict at least one job")
+	}
+	if res.Truncated || len(res.Jobs) != 12 {
+		t.Fatalf("evicted jobs must requeue and complete: %d done, truncated=%v",
+			len(res.Jobs), res.Truncated)
+	}
+	if res.CapacityEvents != 6 {
+		t.Errorf("CapacityEvents = %d, want 6", res.CapacityEvents)
+	}
+	evicts, capEvents := 0, 0
+	for _, ev := range res.Events {
+		switch ev.Kind {
+		case EventEvict:
+			evicts++
+		case EventCapacity:
+			capEvents++
+			if ev.GPUs <= 0 {
+				t.Errorf("capacity event with nonpositive GPU total: %+v", ev)
+			}
+		}
+	}
+	if evicts != res.Evictions || capEvents != res.CapacityEvents {
+		t.Errorf("event log (%d evicts, %d capacity) disagrees with counters (%d, %d)",
+			evicts, capEvents, res.Evictions, res.CapacityEvents)
+	}
+}
+
+func TestCapacityJoinGrowsCluster(t *testing.T) {
+	// Start with 1 server: the trace's 4-GPU gangs can't run until the
+	// join doubles the cluster.
+	cfg := smallConfig(t, 6)
+	cfg.Topo = cluster.Topology{Servers: 1, GPUsPerServer: 4}
+	cfg.Capacity = []scenario.CapacityEvent{
+		{Time: 100, Kind: scenario.CapacityJoin, Servers: 3},
+	}
+	res, err := Run(cfg, &fifoTest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatalf("join never reached the scheduler: %d unfinished", res.Unfinished)
+	}
+	if res.TotalGPUs != 4 {
+		t.Errorf("TotalGPUs should report the initial capacity, got %d", res.TotalGPUs)
+	}
+	// The capacity integral must exceed the initial-capacity baseline:
+	// 12 extra GPUs were online from t=100 to the makespan.
+	base := res.Makespan * 4
+	if res.CapacityGPUSeconds <= base {
+		t.Errorf("CapacityGPUSeconds %v not above fixed-capacity baseline %v",
+			res.CapacityGPUSeconds, base)
+	}
+	if u := res.Utilization(); u <= 0 || u > 1 {
+		t.Errorf("utilization %v outside (0,1]", u)
+	}
+}
+
+func TestCapacityRemovalRespectsMinServers(t *testing.T) {
+	cfg := smallConfig(t, 4)
+	cfg.MinServers = 4 // equal to the starting size: removals are no-ops
+	cfg.Capacity = failureTimeline(20, 40)
+	res, err := Run(cfg, &fifoTest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evictions != 0 {
+		t.Errorf("removal below MinServers must be skipped, got %d evictions", res.Evictions)
+	}
+	if res.Truncated {
+		t.Error("run truncated")
+	}
+	// The skipped failure's repair must be skipped too: a server that
+	// never left cannot rejoin, so the world never actually changed.
+	if res.CapacityEvents != 0 {
+		t.Errorf("clamped timeline applied %d capacity events, want 0", res.CapacityEvents)
+	}
+	if want := res.Makespan * 16; math.Abs(res.CapacityGPUSeconds-want) > 1e-6 {
+		t.Errorf("capacity integral %v, want fixed-size %v — phantom repair grew the cluster",
+			res.CapacityGPUSeconds, want)
+	}
+}
+
+func TestSameTimeCapacityEventsApplyInTimelineOrder(t *testing.T) {
+	// A leave and a join at the identical timestamp: the validated
+	// timeline order (leave first) must hold, so the capacity log reads
+	// 12 GPUs then 20 — never 20 then 16.
+	cfg := smallConfig(t, 3)
+	cfg.RecordEvents = true
+	cfg.Capacity = []scenario.CapacityEvent{
+		{Time: 100, Kind: scenario.CapacityLeave, Servers: 1, Pick: 0.999},
+		{Time: 100, Kind: scenario.CapacityJoin, Servers: 2},
+	}
+	res, err := Run(cfg, &fifoTest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gpus []int
+	for _, ev := range res.Events {
+		if ev.Kind == EventCapacity {
+			gpus = append(gpus, ev.GPUs)
+		}
+	}
+	if len(gpus) != 2 || gpus[0] != 12 || gpus[1] != 20 {
+		t.Errorf("capacity sequence %v, want [12 20]", gpus)
+	}
+}
+
+func TestRestockNeverExceedsWhatWasRemoved(t *testing.T) {
+	// Two failures but only one can be removed (floor at 3 of 4
+	// servers); both repairs fire, yet the cluster must end back at its
+	// original size, not above it.
+	cfg := smallConfig(t, 3)
+	cfg.RecordEvents = true
+	cfg.MinServers = 3
+	cfg.Capacity = []scenario.CapacityEvent{
+		{Time: 20, Kind: scenario.CapacityFail, Servers: 1, Pick: 0.1},
+		{Time: 30, Kind: scenario.CapacityFail, Servers: 1, Pick: 0.1}, // clamped
+		{Time: 60, Kind: scenario.CapacityJoin, Servers: 1, Restocks: scenario.CapacityFail},
+		{Time: 70, Kind: scenario.CapacityJoin, Servers: 1, Restocks: scenario.CapacityFail}, // phantom
+	}
+	res, err := Run(cfg, &fifoTest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := 0
+	for _, ev := range res.Events {
+		if ev.Kind == EventCapacity {
+			last = ev.GPUs
+		}
+	}
+	if last != 16 {
+		t.Errorf("cluster ended at %d GPUs, want the original 16", last)
+	}
+	if res.CapacityEvents != 2 {
+		t.Errorf("CapacityEvents = %d, want 2 (one real failure, one real repair)", res.CapacityEvents)
+	}
+}
+
+func TestCapacityScenarioDeterministic(t *testing.T) {
+	run := func() *Result {
+		cfg := smallConfig(t, 8)
+		cfg.Capacity = failureTimeline(25, 300)
+		res, err := Run(cfg, &fifoTest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.MeanJCT() != b.MeanJCT() || a.Makespan != b.Makespan || a.Evictions != b.Evictions {
+		t.Errorf("nondeterministic under capacity events: JCT %v vs %v, evictions %d vs %d",
+			a.MeanJCT(), b.MeanJCT(), a.Evictions, b.Evictions)
+	}
+}
+
+func TestCapacityTimelineMustBeSorted(t *testing.T) {
+	cfg := smallConfig(t, 2)
+	cfg.Capacity = []scenario.CapacityEvent{
+		{Time: 50, Kind: scenario.CapacityJoin},
+		{Time: 10, Kind: scenario.CapacityFail},
+	}
+	if _, err := Run(cfg, &fifoTest{}); err == nil {
+		t.Error("unsorted capacity timeline accepted")
+	}
+}
+
+func TestEvictedJobAccruesQueueNotExec(t *testing.T) {
+	cfg := smallConfig(t, 3)
+	cfg.RecordEvents = true
+	cfg.Capacity = failureTimeline(15, 600)
+	res, err := Run(cfg, &fifoTest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Jobs {
+		if math.Abs(m.JCT-(m.Exec+m.Queue)) > 1e-6 {
+			t.Errorf("job %d JCT %v != exec %v + queue %v after eviction",
+				m.ID, m.JCT, m.Exec, m.Queue)
+		}
 	}
 }

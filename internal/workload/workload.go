@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"repro/internal/perfmodel"
+	"repro/internal/scenario"
 )
 
 // TaskClass distinguishes the workload families of Table 2.
@@ -137,8 +138,13 @@ type Trace struct {
 type Config struct {
 	Seed             int64   // RNG seed; same seed ⇒ identical trace
 	NumJobs          int     // number of submissions
-	MeanInterarrival float64 // seconds between Poisson arrivals (1/λ)
+	MeanInterarrival float64 // mean seconds between arrivals (1/λ0)
 	MaxReqGPUs       int     // cap on the user-requested worker count (0 ⇒ 8)
+	// Arrival selects the arrival process shaping the submit times. The
+	// zero value is the paper's stationary Poisson process at
+	// MeanInterarrival; a scenario's spec layers diurnal modulation,
+	// bursts or heavy-tail interarrivals on top of the same job mix.
+	Arrival scenario.ArrivalSpec
 }
 
 // DefaultConfig returns the trace configuration used by the Figure 15
@@ -168,12 +174,16 @@ func Generate(cfg Config) (*Trace, error) {
 	if maxGPUs <= 0 {
 		maxGPUs = 8
 	}
+	arrival := cfg.Arrival.Normalize(cfg.MeanInterarrival)
+	if err := arrival.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	catalog := Catalog()
 	tr := &Trace{Seed: cfg.Seed, Jobs: make([]Job, 0, cfg.NumJobs)}
 	now := 0.0
 	for i := 0; i < cfg.NumJobs; i++ {
-		now += rng.ExpFloat64() * cfg.MeanInterarrival
+		now = arrival.Next(rng, now)
 		task := catalog[rng.Intn(len(catalog))]
 		gpus := requestGPUs(rng, maxGPUs)
 		// Users request one reference batch per worker — the "fixed local

@@ -1,8 +1,11 @@
 package workload
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/scenario"
 )
 
 func TestCatalogHasFiftyTaskTypes(t *testing.T) {
@@ -232,5 +235,62 @@ func TestGeneratePropertySubmitTimesOrdered(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestGenerateSteadyMatchesZeroArrivalSpec(t *testing.T) {
+	// The zero Arrival spec must reproduce the historical Poisson trace
+	// byte-for-byte: same RNG draw order, same submit times and job mix.
+	base, err := Generate(Config{Seed: 5, NumJobs: 40, MeanInterarrival: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := Generate(Config{Seed: 5, NumJobs: 40, MeanInterarrival: 12,
+		Arrival: scenario.ArrivalSpec{Kind: scenario.ArrivalPoisson}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base.Jobs, explicit.Jobs) {
+		t.Error("explicit poisson spec diverged from the zero-value default")
+	}
+}
+
+func TestGenerateNonStationaryArrivals(t *testing.T) {
+	for _, kind := range []scenario.ArrivalKind{scenario.ArrivalDiurnal, scenario.ArrivalBurst, scenario.ArrivalHeavyTail} {
+		cfg := Config{Seed: 5, NumJobs: 60, MeanInterarrival: 12,
+			Arrival: scenario.ArrivalSpec{Kind: kind}}
+		tr, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		again, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(tr.Jobs, again.Jobs) {
+			t.Errorf("%s: same seed generated different traces", kind)
+		}
+		steady, _ := Generate(Config{Seed: 5, NumJobs: 60, MeanInterarrival: 12})
+		same := true
+		for i := range tr.Jobs {
+			if tr.Jobs[i].Submit != steady.Jobs[i].Submit {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: submit times identical to the steady trace", kind)
+		}
+	}
+}
+
+func TestGenerateRejectsBadArrival(t *testing.T) {
+	_, err := Generate(Config{Seed: 1, NumJobs: 5, MeanInterarrival: 12,
+		Arrival: scenario.ArrivalSpec{Kind: "bogus"}})
+	if err == nil {
+		t.Error("unknown arrival kind accepted")
 	}
 }
