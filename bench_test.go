@@ -5,6 +5,7 @@
 package repro_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -27,7 +28,7 @@ func runExperiment(b *testing.B, name string) string {
 	if !ok {
 		b.Fatalf("experiment %q not registered", name)
 	}
-	out, err := e.Run(engine.NewRunner(engine.QuickParams()))
+	out, err := e.Run(context.Background(), engine.NewRunner(engine.QuickParams()))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -149,7 +150,7 @@ var fig15Once struct {
 func fig15Results(b *testing.B) []*simulator.Result {
 	fig15Once.Do(func() {
 		r := engine.NewRunner(engine.QuickParams())
-		fig15Once.results, fig15Once.err = r.Compare(0, engine.PaperSchedulers())
+		fig15Once.results, fig15Once.err = r.Compare(context.Background(), 0, engine.PaperSchedulers())
 	})
 	if fig15Once.err != nil {
 		b.Fatal(fig15Once.err)
@@ -160,7 +161,7 @@ func fig15Results(b *testing.B) []*simulator.Result {
 func BenchmarkFig15SchedulerComparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := engine.NewRunner(engine.QuickParams())
-		results, err := r.Compare(0, engine.PaperSchedulers())
+		results, err := r.Compare(context.Background(), 0, engine.PaperSchedulers())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -251,11 +252,11 @@ func BenchmarkFig17Scalability(b *testing.B) {
 		r := engine.NewRunner(p)
 		// Warm the whole sweep in one batch; the per-capacity reads
 		// below are cache hits.
-		if _, err := r.Results(engine.SweepCells(engine.PaperSchedulers(), p.Capacities)); err != nil {
+		if _, err := r.Results(context.Background(), engine.SweepCells(engine.PaperSchedulers(), p.Capacities)); err != nil {
 			b.Fatal(err)
 		}
 		for _, capGPUs := range p.Capacities {
-			results, err := r.Compare(capGPUs, engine.PaperSchedulers())
+			results, err := r.Compare(context.Background(), capGPUs, engine.PaperSchedulers())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -277,7 +278,7 @@ func BenchmarkFig17Scalability(b *testing.B) {
 func BenchmarkScenarioNodeFailure(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := engine.NewRunner(engine.QuickParams())
-		res, err := r.Result(engine.Cell{Scheduler: "ones", Scenario: "node-failure"})
+		res, err := r.Result(context.Background(), engine.Cell{Scheduler: "ones", Scenario: "node-failure"})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -289,7 +290,7 @@ func BenchmarkScenarioNodeFailure(b *testing.B) {
 func BenchmarkScenarioBurst(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := engine.NewRunner(engine.QuickParams())
-		res, err := r.Result(engine.Cell{Scheduler: "ones", Scenario: "burst"})
+		res, err := r.Result(context.Background(), engine.Cell{Scheduler: "ones", Scenario: "burst"})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -305,7 +306,7 @@ func benchEngineSweep(b *testing.B, workers int) {
 		p.Workers = workers
 		r := engine.NewRunner(p)
 		cells := engine.SweepCells(engine.PaperSchedulers(), p.Capacities)
-		if _, err := r.Results(cells); err != nil {
+		if _, err := r.Results(context.Background(), cells); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,10 +1,12 @@
 // Command experiments regenerates the paper's tables and figures through
-// the parallel experiment engine. Experiments are selected by registry
-// name; their declared simulation cells are prewarmed across a worker
+// the public ones SDK. Experiments are selected by registry name; their
+// declared simulation cells are prewarmed across the session's worker
 // pool before anything renders, so runs shared between figures (Fig 15,
 // Fig 17, Fig 18, Table 4) execute exactly once. Progress and timing go
-// to stderr; stdout carries only the tables and figures, byte-identical
-// for a given seed at any -parallel setting.
+// to stderr (streamed through the SDK's Observer interface); stdout
+// carries only the tables and figures, byte-identical for a given seed
+// at any -parallel setting. Ctrl-C cancels cleanly at the next cell
+// boundary.
 //
 // Examples:
 //
@@ -16,14 +18,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
-	"repro/internal/engine"
-	_ "repro/internal/experiments" // populate the experiment registry
+	"repro/pkg/ones"
 )
 
 func main() {
@@ -40,44 +43,25 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, e := range engine.Experiments() {
+		for _, e := range ones.Experiments() {
 			fmt.Printf("%-8s %s\n", e.Name, e.Title)
 		}
 		return
 	}
 
-	p := engine.DefaultParams()
-	if *quick {
-		p = engine.QuickParams()
-	}
-	p.Seed = *seed
-	if *jobs > 0 {
-		p.Jobs = *jobs
-	}
-	if *pop > 0 {
-		p.Population = *pop
-	}
-	p.Workers = *parallel
-
-	var selected []engine.Experiment
+	var names []string
 	if strings.EqualFold(*exp, "all") {
-		selected = engine.Experiments()
+		for _, e := range ones.Experiments() {
+			names = append(names, e.Name)
+		}
 	} else {
 		for _, name := range strings.Split(strings.ToLower(*exp), ",") {
-			name = strings.TrimSpace(name)
-			if name == "" {
-				continue
+			if name = strings.TrimSpace(name); name != "" {
+				names = append(names, name)
 			}
-			e, ok := engine.LookupExperiment(name)
-			if !ok {
-				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (known: %s)\n",
-					name, strings.Join(engine.ExperimentNames(), ", "))
-				os.Exit(2)
-			}
-			selected = append(selected, e)
 		}
 	}
-	if len(selected) == 0 {
+	if len(names) == 0 {
 		fmt.Fprintln(os.Stderr, "experiments: nothing selected")
 		os.Exit(2)
 	}
@@ -88,33 +72,51 @@ func main() {
 		}
 	}
 
-	r := engine.NewRunner(p)
-	r.OnCell = func(cell engine.Cell, elapsed time.Duration) {
-		progress("  cell %-24s %8.2fs\n", cell, elapsed.Seconds())
+	opts := []ones.Option{
+		ones.WithSeed(*seed),
+		ones.WithWorkers(*parallel),
+		ones.WithObserver(ones.ObserverFunc(func(p ones.Progress) {
+			switch p.Kind {
+			case ones.KindRunStart:
+				if p.Total > p.Done {
+					progress("warming %d simulation cells…\n", p.Total-p.Done)
+				}
+			case ones.KindCellDone:
+				progress("  cell %-24s %8.2fs\n", p.Cell, p.Elapsed.Seconds())
+			case ones.KindExperimentDone:
+				progress("[%s] %.2fs\n", p.Experiment, p.Elapsed.Seconds())
+			}
+		})),
+	}
+	if *quick {
+		// Scale first so explicit -jobs/-pop overrides below still win.
+		opts = append([]ones.Option{ones.WithQuickScale()}, opts...)
+	}
+	if *jobs > 0 {
+		opts = append(opts, ones.WithTrace(ones.Trace{Jobs: *jobs}))
+	}
+	if *pop > 0 {
+		opts = append(opts, ones.WithPopulation(*pop))
 	}
 
-	// Prewarm: run every declared simulation cell across the pool before
-	// rendering, so independent runs overlap instead of serializing
-	// behind the figure order.
+	s, err := ones.New(opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	start := time.Now()
-	if cells := engine.DeclaredCells(selected, r.Params()); len(cells) > 0 {
-		progress("warming %d simulation cells on %d workers…\n", len(cells), r.Workers())
-		if _, err := r.Results(cells); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: prewarm: %v\n", err)
-			os.Exit(1)
-		}
-		progress("cells warm after %.2fs\n", time.Since(start).Seconds())
+	progress("running %d experiments on %d workers…\n", len(names), s.Workers())
+	results, err := s.RunExperiments(ctx, names...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
 	}
-
-	for _, e := range selected {
-		expStart := time.Now()
-		out, err := e.Run(r)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.Name, err)
-			os.Exit(1)
-		}
-		fmt.Println(out)
-		progress("[%s] %.2fs\n", e.Name, time.Since(expStart).Seconds())
+	for _, r := range results {
+		fmt.Println(r.Output)
 	}
-	progress("total %.2fs (%d simulation cells)\n", time.Since(start).Seconds(), r.CachedCells())
+	progress("total %.2fs (%d simulation cells)\n", time.Since(start).Seconds(), s.SimulatedCells())
 }

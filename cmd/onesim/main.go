@@ -1,67 +1,88 @@
-// Command onesim runs one scheduling simulation: a generated Table 2
-// workload trace replayed on a simulated GPU cluster under a chosen
-// scheduler, reporting per-run and per-job completion statistics.
+// Command onesim runs one scheduling simulation through the public ones
+// SDK: a generated Table 2 workload trace replayed on a simulated GPU
+// cluster under a chosen scheduler and scenario, reporting per-run and
+// per-job completion statistics.
 //
 // Examples:
 //
 //	onesim -sched ones
 //	onesim -sched tiresias -gpus 32 -jobs 60 -interarrival 20
-//	onesim -sched ones -pop 16 -verbose
+//	onesim -sched ones -scenario diurnal+spot -pop 16 -verbose
+//	onesim -sched ones -json | jq .mean_jct_s
+//
+// The process exits non-zero on error; Ctrl-C cancels the run cleanly at
+// the next cell boundary.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
-	"repro/internal/cluster"
-	"repro/internal/core"
-	"repro/internal/metrics"
-	"repro/internal/schedulers"
-	"repro/internal/workload"
+	"repro/pkg/ones"
 )
 
 func main() {
 	var (
-		sched        = flag.String("sched", "ones", "scheduler: "+strings.Join(schedulers.Names(), "|"))
+		sched        = flag.String("sched", "ones", "scheduler: "+strings.Join(ones.Schedulers(), "|"))
+		scenarioName = flag.String("scenario", "steady", `world model (compose with "+", e.g. "diurnal+spot")`)
 		gpus         = flag.Int("gpus", 64, "cluster capacity in GPUs (4 per server)")
 		jobs         = flag.Int("jobs", 120, "number of jobs in the trace")
 		interarrival = flag.Float64("interarrival", 12, "mean seconds between arrivals")
-		seed         = flag.Int64("seed", 1, "trace and scheduler RNG seed")
+		seed         = flag.Int64("seed", 1, "master RNG seed")
 		pop          = flag.Int("pop", 32, "ONES population size K")
 		verbose      = flag.Bool("verbose", false, "print per-job metrics")
 		events       = flag.Bool("events", false, "print the scheduling event log")
+		asJSON       = flag.Bool("json", false, "emit the full result as JSON for scripting")
 	)
 	flag.Parse()
 
-	cfg := core.RunConfig{
-		Scheduler: core.SchedulerKind(*sched),
-		Topo:      cluster.Topology{Servers: (*gpus + 3) / 4, GPUsPerServer: 4},
-		Trace: workload.Config{
-			Seed:             *seed,
-			NumJobs:          *jobs,
-			MeanInterarrival: *interarrival,
-			MaxReqGPUs:       8,
-		},
-		Seed:       *seed,
-		Population: *pop,
-	}
-	res, err := core.RunWithEvents(cfg, *events)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	s, err := ones.New(
+		ones.WithScheduler(*sched),
+		ones.WithScenario(*scenarioName),
+		ones.WithTopology((*gpus+3)/4, 4),
+		ones.WithTrace(ones.Trace{Jobs: *jobs, MeanInterarrival: *interarrival, Seed: *seed}),
+		ones.WithSeed(*seed),
+		ones.WithPopulation(*pop),
+		ones.WithEventLog(*events),
+	)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "onesim:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	sum := metrics.Summarize(res)
-	fmt.Printf("scheduler   %s\n", sum.Scheduler)
-	fmt.Printf("jobs        %d (unfinished: %d)\n", sum.Jobs, res.Unfinished)
-	fmt.Printf("makespan    %.1f s\n", sum.Makespan)
+	res, err := s.Run(ctx)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("scheduler   %s\n", res.Scheduler)
+	fmt.Printf("scenario    %s\n", res.Scenario)
+	fmt.Printf("jobs        %d (unfinished: %d)\n", len(res.Jobs), res.Unfinished)
+	fmt.Printf("makespan    %.1f s\n", res.Makespan)
 	fmt.Printf("avg JCT     %.2f s   (median %.1f, p75 %.1f, max %.1f)\n",
-		sum.MeanJCT, sum.JCTBox.Median, sum.JCTBox.Q3, sum.JCTBox.Max)
-	fmt.Printf("avg exec    %.2f s\n", sum.MeanExec)
-	fmt.Printf("avg queue   %.2f s\n", sum.MeanQueue)
-	fmt.Printf("reconfigs   %d\n", sum.Reconfigs)
-	fmt.Printf("utilization %.1f%%\n", 100*res.Utilization())
+		res.MeanJCT, res.JCT.Median, res.JCT.Q3, res.JCT.Max)
+	fmt.Printf("avg exec    %.2f s\n", res.MeanExec)
+	fmt.Printf("avg queue   %.2f s\n", res.MeanQueue)
+	fmt.Printf("reconfigs   %d\n", res.Reconfigs)
+	if res.Evictions > 0 || res.CapacityEvents > 0 {
+		fmt.Printf("evictions   %d (capacity events: %d)\n", res.Evictions, res.CapacityEvents)
+	}
+	fmt.Printf("utilization %.1f%%\n", 100*res.Utilization)
 	if *verbose {
 		fmt.Printf("\n%6s %-26s %10s %10s %10s %10s\n", "job", "task", "submit", "jct", "exec", "queue")
 		for _, j := range res.Jobs {
@@ -75,4 +96,9 @@ func main() {
 			fmt.Printf("%10.1f %-9s %6d %6d %8d\n", ev.Time, ev.Kind, ev.Job, ev.GPUs, ev.Batch)
 		}
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "onesim:", err)
+	os.Exit(1)
 }

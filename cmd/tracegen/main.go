@@ -1,10 +1,12 @@
 // Command tracegen generates, summarizes and validates workload traces
-// (the Table 2 job mix) under any named scenario's arrival process.
+// (the Table 2 job mix) through the public ones SDK, under any named
+// scenario's arrival process — including "+"-composed scenarios.
 //
 // Examples:
 //
 //	tracegen -jobs 120 -o trace.json
 //	tracegen -scenario burst -jobs 200 -o burst.json
+//	tracegen -scenario diurnal+spot -summary
 //	tracegen -list-scenarios
 //	tracegen -in trace.json -summary
 package main
@@ -14,8 +16,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/scenario"
-	"repro/internal/workload"
+	"repro/pkg/ones"
 )
 
 func main() {
@@ -33,55 +34,41 @@ func main() {
 	flag.Parse()
 
 	if *listScen {
-		for _, s := range scenario.Specs() {
+		for _, s := range ones.Scenarios() {
 			capacity := "fixed capacity"
-			if !s.Capacity.IsStatic() {
+			if s.ElasticCapacity {
 				capacity = "elastic capacity"
 			}
-			fmt.Printf("%-14s %-45s arrivals: %s; %s\n",
-				s.Name, s.Title, s.Arrival.Normalize(*interarrival), capacity)
+			fmt.Printf("%-14s %-45s arrivals: %s; %s\n", s.Name, s.Title, s.Arrival, capacity)
 		}
 		return
 	}
 
-	var trace *workload.Trace
+	var trace *ones.TraceData
 	if *in != "" {
 		data, err := os.ReadFile(*in)
 		if err != nil {
 			fatal(err)
 		}
-		trace, err = workload.Decode(data)
+		trace, err = ones.DecodeTrace(data)
 		if err != nil {
 			fatal(err)
 		}
 	} else {
-		cfg := workload.Config{
-			Seed:             *seed,
-			NumJobs:          *jobs,
-			MeanInterarrival: *interarrival,
-			MaxReqGPUs:       *maxGPUs,
-		}
-		if *scenarioName != "" {
-			// Arrival shape comes from the scenario registry; the raw
-			// flags still set the base rate, job count and GPU cap.
-			spec, err := scenario.Get(*scenarioName)
-			if err != nil {
-				fatal(err)
-			}
-			cfg.Arrival = spec.Arrival
-		}
 		var err error
-		trace, err = workload.Generate(cfg)
+		trace, err = ones.GenerateTrace(ones.Trace{
+			Jobs:             *jobs,
+			MeanInterarrival: *interarrival,
+			MaxGPUs:          *maxGPUs,
+			Seed:             *seed,
+		}, *scenarioName)
 		if err != nil {
 			fatal(err)
 		}
 	}
-	if err := trace.Validate(); err != nil {
-		fatal(err)
-	}
 
 	if *summary {
-		s := trace.Summarize()
+		s := trace.Summary()
 		fmt.Printf("jobs            %d\n", s.Jobs)
 		fmt.Printf("makespan        %.1f s (last submission)\n", s.Makespan)
 		fmt.Printf("mean GPU req    %.2f\n", s.MeanGPUReq)
@@ -96,7 +83,7 @@ func main() {
 		return
 	}
 
-	data, err := trace.Encode()
+	data, err := trace.JSON()
 	if err != nil {
 		fatal(err)
 	}
@@ -107,7 +94,7 @@ func main() {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %d jobs to %s\n", len(trace.Jobs), *out)
+	fmt.Fprintf(os.Stderr, "wrote %d jobs to %s\n", trace.Jobs(), *out)
 }
 
 func fatal(err error) {

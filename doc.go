@@ -14,12 +14,18 @@
 // registry names every figure/table and whose sharded runner fans
 // independent simulation cells across a cached worker pool.
 //
+// Other programs embed the system through pkg/ones, the public SDK:
+// context-aware sessions built from functional options, streaming
+// progress observers, typed sentinel errors and a stable Result view.
+// Every command and example below drives pkg/ones only.
+//
 // Entry points:
 //
-//	cmd/onesim       — run one simulation
+//	pkg/ones         — the public SDK (start here)
+//	cmd/onesim       — run one simulation (-json for scripting)
 //	cmd/tracegen     — generate workload traces
 //	cmd/experiments  — regenerate every table and figure
-//	examples/        — runnable API walkthroughs
+//	examples/        — runnable SDK walkthroughs
 //
 // The benchmarks in bench_test.go regenerate each experiment through the
 // testing harness; see DESIGN.md for the experiment-to-module index and

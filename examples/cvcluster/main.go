@@ -1,49 +1,58 @@
 // cvcluster replays a 64-GPU production-style trace (the paper's Table 2
 // mix, dominated by CV training jobs) under ONES and all three baseline
-// schedulers, and prints the Figure 15-style report: average JCT /
-// execution / queuing time, distributions, and the fraction of jobs done
-// within 200 seconds.
+// schedulers through the public ones SDK, and prints the Figure 15-style
+// report: average JCT / execution / queuing time, JCT distributions, and
+// the fraction of jobs done within 200 seconds.
+//
+// Session.Compare pairs the comparison: every scheduler replays the
+// identical job stream, so differences are the policies', not the
+// trace's.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sort"
 
-	"repro/internal/core"
-	"repro/internal/metrics"
-	"repro/internal/workload"
+	"repro/pkg/ones"
 )
 
 func main() {
-	cfg := core.RunConfig{
-		Scheduler: core.KindONES,
-		Trace: workload.Config{
-			Seed:             11,
-			NumJobs:          60,
-			MeanInterarrival: 12,
-			MaxReqGPUs:       8,
-		},
-		Seed:       11,
-		Population: 16,
-	}
-	fmt.Println("running ONES, DRL, Tiresias and Optimus on the same 60-job trace…")
-	results, err := core.Compare(cfg, core.PaperBaselines())
+	s, err := ones.New(
+		ones.WithTrace(ones.Trace{Jobs: 60, MeanInterarrival: 12, MaxGPUs: 8}),
+		ones.WithSeed(11),
+		ones.WithPopulation(16),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	sums := make([]metrics.Summary, len(results))
-	for i, r := range results {
-		sums[i] = metrics.Summarize(r)
+	fmt.Println("running ONES, DRL, Tiresias and Optimus on the same 60-job trace…")
+	results, err := s.Compare(context.Background(), ones.PaperSchedulers()...)
+	if err != nil {
+		log.Fatal(err)
 	}
-	metrics.SortSummaries(sums)
-	fmt.Println()
-	fmt.Print(metrics.ComparisonTable(sums))
-	fmt.Println()
-	fmt.Print(metrics.BoxTable(results, metrics.JCT))
+	// Best average JCT first, as the paper's tables order them.
+	sort.SliceStable(results, func(i, j int) bool { return results[i].MeanJCT < results[j].MeanJCT })
+
+	fmt.Printf("\n%-10s %8s %10s %10s %10s %10s\n",
+		"scheduler", "jobs", "mean JCT", "mean exec", "mean queue", "reconfigs")
+	for _, r := range results {
+		fmt.Printf("%-10s %8d %10.1f %10.1f %10.1f %10d\n",
+			r.Scheduler, len(r.Jobs), r.MeanJCT, r.MeanExec, r.MeanQueue, r.Reconfigs)
+	}
+
+	fmt.Printf("\nJCT distribution (s):\n%-10s %8s %8s %8s %8s %8s\n",
+		"scheduler", "min", "q1", "median", "q3", "max")
+	for _, r := range results {
+		fmt.Printf("%-10s %8.1f %8.1f %8.1f %8.1f %8.1f\n",
+			r.Scheduler, r.JCT.Min, r.JCT.Q1, r.JCT.Median, r.JCT.Q3, r.JCT.Max)
+	}
+
 	fmt.Println()
 	for _, r := range results {
 		fmt.Printf("jobs completed within 200 s (%s): %.0f%%\n",
-			r.Scheduler, 100*metrics.FractionWithin(r, metrics.JCT, 200))
+			r.Scheduler, 100*r.FractionDoneWithin(200))
 	}
 }

@@ -1,9 +1,9 @@
 // livescaling demonstrates the elastic batch-size scaling mechanism
-// (§3.3, Figures 11–12) on the live goroutine mini-cluster: a data-parallel
-// job training over a real ring all-reduce is grown from 2 to 4 workers
-// without checkpointing, then the same rescale is repeated through the
-// conventional save/stop/restart path, and the interruption times are
-// compared (the Figure 16 contrast).
+// (§3.3, Figures 11–12) through the public ones SDK's live mini-cluster:
+// a data-parallel job training over a real ring all-reduce is grown from
+// 2 to 4 workers without checkpointing, then the same rescale is
+// repeated through the conventional save/stop/restart path, and the
+// interruption times are compared (the Figure 16 contrast).
 package main
 
 import (
@@ -11,11 +11,11 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/runtime"
+	"repro/pkg/ones"
 )
 
 func main() {
-	spec := runtime.Spec{
+	spec := ones.LiveSpec{
 		Name:        "resnet50-demo",
 		ParamCount:  1 << 19, // 2 MB of parameters, scaled for a laptop demo
 		GlobalBatch: 256,
@@ -25,7 +25,7 @@ func main() {
 	}
 
 	fmt.Println("starting job on 2 workers…")
-	job, err := runtime.Start(spec, 2)
+	job, err := ones.StartLiveJob(spec, 2)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,30 +1,35 @@
-// Quickstart: submit a small stream of deep-learning jobs to a simulated
-// 16-GPU cluster scheduled by ONES and print what happened to each job.
+// Quickstart for the public ones SDK: submit a small stream of
+// deep-learning jobs to a simulated 16-GPU cluster scheduled by ONES and
+// print what happened to each job.
+//
+// A Session is built once from functional options; Run takes a
+// context.Context (cancel it to stop a long run cleanly) and returns the
+// stable public Result view with per-job and summary metrics.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/cluster"
-	"repro/internal/core"
-	"repro/internal/workload"
+	"repro/pkg/ones"
 )
 
 func main() {
-	cfg := core.RunConfig{
-		Scheduler: core.KindONES,
-		Topo:      cluster.Topology{Servers: 4, GPUsPerServer: 4},
-		Trace: workload.Config{
-			Seed:             7,
-			NumJobs:          12,
-			MeanInterarrival: 30,
-			MaxReqGPUs:       4,
-		},
-		Seed:       7,
-		Population: 8,
+	// Configure the world: the scheduler under test, a 4-server × 4-GPU
+	// cluster, and a 12-job trace arriving every ~30 s. The seed makes
+	// the whole run deterministic — rerun it and every number matches.
+	s, err := ones.New(
+		ones.WithScheduler("ones"),
+		ones.WithTopology(4, 4),
+		ones.WithTrace(ones.Trace{Jobs: 12, MeanInterarrival: 30, MaxGPUs: 4}),
+		ones.WithSeed(7),
+		ones.WithPopulation(8),
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
-	res, err := core.Run(cfg)
+	res, err := s.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,5 +40,5 @@ func main() {
 		fmt.Printf("%4d %-26s %9.1f %9.1f %9.1f\n", j.ID, j.Name, j.JCT, j.Exec, j.Queue)
 	}
 	fmt.Printf("\naverage JCT %.1f s, average queue %.1f s, %d reconfigurations\n",
-		res.MeanJCT(), res.MeanQueue(), res.Reconfigs)
+		res.MeanJCT, res.MeanQueue, res.Reconfigs)
 }

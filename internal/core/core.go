@@ -1,14 +1,16 @@
-// Package core is the public façade of the ONES reproduction: it wires
-// the workload generator, the discrete-event cluster simulator and the
-// scheduler registry together behind a one-call Run/Compare API.
+// Package core was the original one-call façade of the ONES
+// reproduction. It survives only as a thin compatibility shim over the
+// public SDK in pkg/ones, which is the single supported API surface.
 //
-// The experiment suite that regenerates the paper's tables and figures
-// lives in internal/experiments, executed through the parallel runner in
-// internal/engine.
+// Deprecated: new code should construct an ones.Session (pkg/ones) —
+// it adds context cancellation, scenarios, streaming progress and a
+// memoized parallel worker pool that this shim cannot expose.
 package core
 
 import (
-	"fmt"
+	"context"
+
+	"repro/pkg/ones"
 
 	"repro/internal/cluster"
 	"repro/internal/schedulers"
@@ -17,7 +19,9 @@ import (
 )
 
 // SchedulerKind names a scheduling policy. Kinds are the names of the
-// schedulers registry; NewScheduler resolves them there.
+// schedulers registry.
+//
+// Deprecated: use the registry names directly (ones.Schedulers).
 type SchedulerKind string
 
 // Available schedulers: ONES and the paper's three baselines, plus the
@@ -32,37 +36,65 @@ const (
 )
 
 // PaperBaselines are the schedulers compared in Figure 15.
+//
+// Deprecated: use ones.PaperSchedulers.
 func PaperBaselines() []SchedulerKind {
-	return []SchedulerKind{KindONES, KindDRL, KindTiresias, KindOptimus}
+	out := make([]SchedulerKind, 0, 4)
+	for _, name := range ones.PaperSchedulers() {
+		out = append(out, SchedulerKind(name))
+	}
+	return out
 }
 
 // RunConfig describes one simulation run.
+//
+// Deprecated: configure an ones.Session with functional options instead.
 type RunConfig struct {
 	Scheduler SchedulerKind
 	Topo      cluster.Topology // zero ⇒ the paper's 16×4 Longhorn testbed
 	Trace     workload.Config  // zero ⇒ workload.DefaultConfig()
-	Seed      int64            // scheduler RNG seed (0 ⇒ 1)
+	Seed      int64            // master RNG seed (0 ⇒ 1)
 
-	// Population overrides ONES's population size K (0 ⇒ cluster size).
-	// Smaller populations run faster with slightly noisier search.
+	// Population overrides ONES's population size K.
 	Population int
 	// MutationRate overrides ONES's θ (0 ⇒ default 0.1).
 	MutationRate float64
 }
 
-func (c *RunConfig) normalize() {
-	if c.Topo == (cluster.Topology{}) {
-		c.Topo = cluster.Longhorn()
+// options maps the legacy config onto SDK options.
+func (c RunConfig) options(recordEvents bool) []ones.Option {
+	trace := c.Trace
+	if trace == (workload.Config{}) {
+		trace = workload.DefaultConfig()
 	}
-	if c.Trace == (workload.Config{}) {
-		c.Trace = workload.DefaultConfig()
+	opts := []ones.Option{
+		ones.WithScheduler(string(c.Scheduler)),
+		ones.WithTrace(ones.Trace{
+			Jobs:             trace.NumJobs,
+			MeanInterarrival: trace.MeanInterarrival,
+			MaxGPUs:          trace.MaxReqGPUs,
+			Seed:             trace.Seed,
+		}),
+		ones.WithEventLog(recordEvents),
 	}
-	if c.Seed == 0 {
-		c.Seed = 1
+	if c.Topo != (cluster.Topology{}) {
+		opts = append(opts, ones.WithTopology(c.Topo.Servers, c.Topo.GPUsPerServer))
 	}
+	if c.Seed != 0 {
+		opts = append(opts, ones.WithSeed(c.Seed))
+	}
+	if c.Population > 0 {
+		opts = append(opts, ones.WithPopulation(c.Population))
+	}
+	if c.MutationRate > 0 {
+		opts = append(opts, ones.WithMutationRate(c.MutationRate))
+	}
+	return opts
 }
 
 // NewScheduler constructs the named scheduler through the registry.
+//
+// Deprecated: use the schedulers registry (or ones.Session) directly.
 func NewScheduler(kind SchedulerKind, seed int64, trace workload.Config, population int, mutation float64) (simulator.Scheduler, error) {
 	return schedulers.New(string(kind), schedulers.Config{
 		Seed:         seed,
@@ -73,46 +105,85 @@ func NewScheduler(kind SchedulerKind, seed int64, trace workload.Config, populat
 }
 
 // Run simulates one trace under one scheduler.
+//
+// Deprecated: use ones.New(...).Run(ctx).
 func Run(cfg RunConfig) (*simulator.Result, error) { return RunWithEvents(cfg, false) }
 
 // RunWithEvents is Run with the scheduling event log enabled on demand.
+//
+// Deprecated: use ones.New(..., ones.WithEventLog(true)).Run(ctx).
 func RunWithEvents(cfg RunConfig, recordEvents bool) (*simulator.Result, error) {
-	cfg.normalize()
-	trace, err := workload.Generate(cfg.Trace)
+	s, err := ones.New(cfg.options(recordEvents)...)
 	if err != nil {
 		return nil, err
 	}
-	sched, err := NewScheduler(cfg.Scheduler, cfg.Seed, cfg.Trace, cfg.Population, cfg.MutationRate)
+	res, err := s.Run(context.Background())
 	if err != nil {
 		return nil, err
 	}
-	simCfg := simulator.DefaultConfig(trace)
-	simCfg.Topo = cfg.Topo
-	simCfg.RecordEvents = recordEvents
-	return simulator.Run(simCfg, sched)
+	return fromPublic(res), nil
 }
 
 // Compare runs several schedulers against the SAME generated trace — the
 // pairing the Wilcoxon analysis of Table 4 requires.
+//
+// Deprecated: use ones.Session.Compare.
 func Compare(cfg RunConfig, kinds []SchedulerKind) ([]*simulator.Result, error) {
-	cfg.normalize()
-	trace, err := workload.Generate(cfg.Trace)
+	s, err := ones.New(cfg.options(false)...)
 	if err != nil {
 		return nil, err
 	}
-	results := make([]*simulator.Result, 0, len(kinds))
-	for _, k := range kinds {
-		sched, err := NewScheduler(k, cfg.Seed, cfg.Trace, cfg.Population, cfg.MutationRate)
-		if err != nil {
-			return nil, err
-		}
-		simCfg := simulator.DefaultConfig(trace)
-		simCfg.Topo = cfg.Topo
-		res, err := simulator.Run(simCfg, sched)
-		if err != nil {
-			return nil, fmt.Errorf("core: %s: %w", k, err)
-		}
-		results = append(results, res)
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = string(k)
 	}
-	return results, nil
+	pub, err := s.Compare(context.Background(), names...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*simulator.Result, len(pub))
+	for i, r := range pub {
+		out[i] = fromPublic(r)
+	}
+	return out, nil
+}
+
+// fromPublic rebuilds the legacy simulator.Result view this package's
+// callers expect from the SDK's public Result.
+func fromPublic(r *ones.Result) *simulator.Result {
+	out := &simulator.Result{
+		Scheduler:          r.Scheduler,
+		Jobs:               make([]simulator.JobMetric, len(r.Jobs)),
+		Makespan:           r.Makespan,
+		Truncated:          r.Truncated,
+		Unfinished:         r.Unfinished,
+		Reconfigs:          r.Reconfigs,
+		Evictions:          r.Evictions,
+		CapacityEvents:     r.CapacityEvents,
+		BusyGPUSeconds:     r.BusyGPUSeconds,
+		TotalGPUs:          r.Capacity,
+		CapacityGPUSeconds: r.CapacityGPUSeconds,
+	}
+	for i, j := range r.Jobs {
+		out.Jobs[i] = simulator.JobMetric{
+			ID:     cluster.JobID(j.ID),
+			Name:   j.Name,
+			Submit: j.Submit,
+			Start:  j.Start,
+			Done:   j.Done,
+			JCT:    j.JCT,
+			Exec:   j.Exec,
+			Queue:  j.Queue,
+		}
+	}
+	for _, ev := range r.Events {
+		out.Events = append(out.Events, simulator.Event{
+			Time:  ev.Time,
+			Kind:  simulator.EventKind(ev.Kind),
+			Job:   cluster.JobID(ev.Job),
+			GPUs:  ev.GPUs,
+			Batch: ev.Batch,
+		})
+	}
+	return out
 }

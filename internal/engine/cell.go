@@ -16,10 +16,17 @@ type Cell struct {
 	Capacity  int    // initial total GPUs (0 ⇒ the paper's 64-GPU Longhorn testbed)
 	TraceSeed int64  // workload trace seed (0 ⇒ the master seed)
 	Scenario  string // scenario registry name ("" ⇒ "steady")
+	// GPUsPer is the per-server GPU count shaping the topology (0 ⇒ 4,
+	// the paper's Longhorn servers). Capacity is rounded up to whole
+	// servers.
+	GPUsPer int
 }
 
 // String renders the cell for progress and error reporting.
 func (c Cell) String() string {
+	if c.GPUsPer != 0 && c.GPUsPer != 4 {
+		return fmt.Sprintf("%s/%dgpu(%dper)/trace%d/%s", c.Scheduler, c.Capacity, c.GPUsPer, c.TraceSeed, c.Scenario)
+	}
 	return fmt.Sprintf("%s/%dgpu/trace%d/%s", c.Scheduler, c.Capacity, c.TraceSeed, c.Scenario)
 }
 
@@ -34,13 +41,21 @@ func (c Cell) normalize(p Params) Cell {
 	if c.Scenario == "" {
 		c.Scenario = scenario.Steady
 	}
+	if c.GPUsPer <= 0 {
+		c.GPUsPer = 4
+	}
 	return c
 }
 
-// Topology maps a capacity to the cluster shape: 4-GPU servers, as on the
-// paper's Longhorn testbed (capacity 64 ⇒ exactly cluster.Longhorn()).
+// Topology maps a capacity to the cluster shape: GPUsPer-GPU servers
+// (default 4, as on the paper's Longhorn testbed — capacity 64 ⇒ exactly
+// cluster.Longhorn()).
 func (c Cell) Topology() cluster.Topology {
-	return cluster.Topology{Servers: (c.Capacity + 3) / 4, GPUsPerServer: 4}
+	per := c.GPUsPer
+	if per <= 0 {
+		per = 4
+	}
+	return cluster.Topology{Servers: (c.Capacity + per - 1) / per, GPUsPerServer: per}
 }
 
 // deriveSeed turns a salted cell key into an RNG seed. The derivation
@@ -63,10 +78,20 @@ func deriveSeed(master int64, key string) int64 {
 	return s
 }
 
+// topoKey renders the topology part of a seed-derivation key. The 4-GPU
+// default deliberately contributes only the capacity, so seeds derived
+// before the GPUsPer dimension existed are unchanged.
+func (c Cell) topoKey() string {
+	if c.GPUsPer != 0 && c.GPUsPer != 4 {
+		return fmt.Sprintf("%d/%d", c.Capacity, c.GPUsPer)
+	}
+	return fmt.Sprintf("%d", c.Capacity)
+}
+
 // schedulerSeed derives the cell's scheduler RNG seed from the master
 // seed and the full cell key.
 func (c Cell) schedulerSeed(master int64) int64 {
-	return deriveSeed(master, fmt.Sprintf("%s|%d|%d|%s", c.Scheduler, c.Capacity, c.TraceSeed, c.Scenario))
+	return deriveSeed(master, fmt.Sprintf("%s|%s|%d|%s", c.Scheduler, c.topoKey(), c.TraceSeed, c.Scenario))
 }
 
 // scenarioSeed derives the capacity-timeline seed. It deliberately
@@ -74,7 +99,7 @@ func (c Cell) schedulerSeed(master int64) int64 {
 // the identical sequence of failures and preemptions, preserving the
 // paired comparisons the Wilcoxon analysis relies on.
 func (c Cell) scenarioSeed(master int64) int64 {
-	return deriveSeed(master, fmt.Sprintf("scenario|%d|%d|%s", c.Capacity, c.TraceSeed, c.Scenario))
+	return deriveSeed(master, fmt.Sprintf("scenario|%s|%d|%s", c.topoKey(), c.TraceSeed, c.Scenario))
 }
 
 // ComparisonCells returns one cell per scheduler at the given capacity,

@@ -20,13 +20,18 @@ type Params struct {
 	Seed         int64
 	Jobs         int     // trace length for Fig 15/17/18
 	Interarrival float64 // seconds between arrivals
+	MaxGPUs      int     // largest user GPU request in generated traces (0 ⇒ 8)
 	Population   int     // ONES population size K
+	MutationRate float64 // ONES mutation rate θ override (0 ⇒ scheduler default)
 	Capacities   []int   // GPU counts for the scalability sweep
 	ParamScale   int     // live-runtime model-size divisor (Fig 16)
 	CFPoints     int     // samples per cumulative-frequency curve
 	// Workers bounds the number of concurrently executing simulation
 	// cells (0 ⇒ GOMAXPROCS). Results are identical at any setting.
 	Workers int
+	// RecordEvents retains the per-job scheduling event log on every
+	// simulated cell's Result (off by default: the log is bulky).
+	RecordEvents bool
 }
 
 // DefaultParams reproduce the paper-scale experiments (minutes of wall
@@ -36,6 +41,7 @@ func DefaultParams() Params {
 		Seed:         1,
 		Jobs:         120,
 		Interarrival: 12,
+		MaxGPUs:      8,
 		Population:   32,
 		Capacities:   []int{16, 32, 48, 64},
 		ParamScale:   50,
@@ -49,6 +55,7 @@ func QuickParams() Params {
 		Seed:         1,
 		Jobs:         30,
 		Interarrival: 12,
+		MaxGPUs:      8,
 		Population:   10,
 		Capacities:   []int{16, 64},
 		ParamScale:   400,
@@ -60,11 +67,15 @@ func QuickParams() Params {
 // seed. All cells sharing a trace seed replay the identical job stream —
 // the pairing the Wilcoxon analysis of Table 4 requires.
 func (p Params) TraceConfig(seed int64) workload.Config {
+	maxGPUs := p.MaxGPUs
+	if maxGPUs <= 0 {
+		maxGPUs = 8
+	}
 	return workload.Config{
 		Seed:             seed,
 		NumJobs:          p.Jobs,
 		MeanInterarrival: p.Interarrival,
-		MaxReqGPUs:       8,
+		MaxReqGPUs:       maxGPUs,
 	}
 }
 

@@ -1,9 +1,16 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 )
+
+// ErrUnknownExperiment is wrapped by GetExperiment for names absent from
+// the registry; match it with errors.Is.
+var ErrUnknownExperiment = errors.New("engine: unknown experiment")
 
 // Experiment is one named, self-describing figure or table of the paper's
 // evaluation.
@@ -17,7 +24,8 @@ type Experiment struct {
 	// rendering anything. Nil when the experiment needs no simulation.
 	Cells func(p Params) []Cell
 	// Run renders the experiment (reading simulations through r's cache).
-	Run func(r *Runner) (string, error)
+	// The context cancels pending simulation work at cell boundaries.
+	Run func(ctx context.Context, r *Runner) (string, error)
 }
 
 var (
@@ -36,7 +44,7 @@ func RegisterExperiment(e Experiment) {
 		panic("engine: RegisterExperiment with empty name or nil Run")
 	}
 	if _, dup := expByKey[e.Name]; dup {
-		panic(fmt.Sprintf("engine: duplicate experiment %q", e.Name))
+		panic(fmt.Sprintf("engine: duplicate registration of experiment %q — two experiments would silently shadow each other; pick a distinct name", e.Name))
 	}
 	expByKey[e.Name] = e
 	expOrder = append(expOrder, e.Name)
@@ -48,6 +56,15 @@ func LookupExperiment(name string) (Experiment, bool) {
 	defer expMu.RUnlock()
 	e, ok := expByKey[name]
 	return e, ok
+}
+
+// GetExperiment returns the named experiment or an ErrUnknownExperiment
+// error listing the registered names.
+func GetExperiment(name string) (Experiment, error) {
+	if e, ok := LookupExperiment(name); ok {
+		return e, nil
+	}
+	return Experiment{}, fmt.Errorf("%w %q (known: %s)", ErrUnknownExperiment, name, strings.Join(ExperimentNames(), ", "))
 }
 
 // Experiments returns every registered experiment in registration order.

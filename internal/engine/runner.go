@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -16,15 +18,28 @@ import (
 // memoizes every result. It is safe for concurrent use; each distinct
 // cell runs exactly once per Runner even when several experiments request
 // it at the same time.
+//
+// Every entry point takes a context.Context. Cancellation is observed at
+// cell boundaries: cells that have not yet claimed a worker slot never
+// start, cells already simulating run to completion (a simulation is not
+// interruptible mid-flight), and batch calls drain their in-flight work
+// before returning, so no worker goroutine outlives the call. A cell
+// aborted by cancellation is NOT cached — rerunning with a live context
+// produces exactly the results an uncancelled run would have.
 type Runner struct {
 	params  Params
 	workers int
 	sem     chan struct{}
 
+	// OnCellStart, when set before the first Results call, is invoked
+	// just before a cell begins simulating (cache hits do not fire it).
+	// Calls may come from multiple goroutines.
+	OnCellStart func(cell Cell)
 	// OnCell, when set before the first Results call, is invoked after
-	// each cell actually simulates (cache hits do not fire it). Calls may
-	// come from multiple goroutines.
-	OnCell func(cell Cell, elapsed time.Duration)
+	// each cell actually simulates (cache hits do not fire it), with the
+	// cell's result. Calls may come from multiple goroutines; the result
+	// is shared and must not be mutated.
+	OnCell func(cell Cell, res *simulator.Result, elapsed time.Duration)
 
 	mu     sync.Mutex
 	cells  map[Cell]*cellEntry
@@ -40,8 +55,11 @@ type traceKey struct {
 	arrival scenario.ArrivalSpec
 }
 
+// cellEntry is a cancellation-aware singleflight slot: the goroutine
+// that inserts the entry computes it and closes done; everyone else
+// waits on done or their own context, whichever ends first.
 type cellEntry struct {
-	once sync.Once
+	done chan struct{}
 	res  *simulator.Result
 	err  error
 }
@@ -65,6 +83,9 @@ func NewRunner(p Params) *Runner {
 	}
 	if p.Interarrival <= 0 {
 		p.Interarrival = def.Interarrival
+	}
+	if p.MaxGPUs <= 0 {
+		p.MaxGPUs = def.MaxGPUs
 	}
 	if p.Population <= 0 {
 		p.Population = def.Population
@@ -97,11 +118,35 @@ func (r *Runner) Params() Params { return r.params }
 // Workers returns the effective worker-pool size.
 func (r *Runner) Workers() int { return r.workers }
 
-// CachedCells reports how many distinct cells have been simulated.
+// CachedCells reports how many distinct cells have been simulated (or
+// are currently simulating).
 func (r *Runner) CachedCells() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.cells)
+}
+
+// CachedOf reports how many of the given cells are already successfully
+// simulated in the cache — the cells a new batch will satisfy without
+// executing anything. In-flight and failed cells do not count.
+func (r *Runner) CachedOf(cells []Cell) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, c := range cells {
+		e, ok := r.cells[c.normalize(r.params)]
+		if !ok {
+			continue
+		}
+		select {
+		case <-e.done:
+			if e.err == nil {
+				n++
+			}
+		default:
+		}
+	}
+	return n
 }
 
 // CachedTraces reports how many distinct traces have been generated —
@@ -112,42 +157,67 @@ func (r *Runner) CachedTraces() int {
 	return len(r.traces)
 }
 
-// entry returns the (possibly new) singleflight entry for a cell.
-func (r *Runner) entry(c Cell) *cellEntry {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	e, ok := r.cells[c]
-	if !ok {
-		e = &cellEntry{}
-		r.cells[c] = e
-	}
-	return e
+// isCtxErr reports whether err is the computing goroutine's context
+// giving up, as opposed to the simulation itself failing.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Result runs (or recalls) a single cell. The worker-pool slot is
-// acquired inside the once, so cache hits return immediately and
+// acquired inside the flight, so cache hits return immediately and
 // goroutines waiting on another's in-flight computation of the same cell
-// do not hold slots the pool could be simulating with.
-func (r *Runner) Result(cell Cell) (*simulator.Result, error) {
+// do not hold slots the pool could be simulating with. A caller whose
+// context ends stops waiting at once; the in-flight simulation (if any)
+// still completes and is cached for the next caller.
+func (r *Runner) Result(ctx context.Context, cell Cell) (*simulator.Result, error) {
 	cell = cell.normalize(r.params)
-	e := r.entry(cell)
-	e.once.Do(func() {
-		r.sem <- struct{}{}
-		defer func() { <-r.sem }()
-		e.res, e.err = r.runCell(cell)
-	})
-	if e.err != nil {
-		return nil, fmt.Errorf("engine: cell %s: %w", cell, e.err)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		r.mu.Lock()
+		e, ok := r.cells[cell]
+		if !ok {
+			e = &cellEntry{done: make(chan struct{})}
+			r.cells[cell] = e
+			r.mu.Unlock()
+			e.res, e.err = r.runCell(ctx, cell)
+			if e.err != nil && isCtxErr(e.err) {
+				// Do not poison the cache with a cancellation: forget the
+				// entry so a later call with a live context recomputes and
+				// an uncancelled rerun stays byte-identical.
+				r.mu.Lock()
+				delete(r.cells, cell)
+				r.mu.Unlock()
+			}
+			close(e.done)
+		} else {
+			r.mu.Unlock()
+		}
+		select {
+		case <-e.done:
+			if e.err != nil {
+				if isCtxErr(e.err) && ctx.Err() == nil {
+					// The computing goroutine was cancelled but we are
+					// alive: the entry is gone, claim a fresh one.
+					continue
+				}
+				return nil, fmt.Errorf("engine: cell %s: %w", cell, e.err)
+			}
+			return e.res, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
-	return e.res, nil
 }
 
 // Results fans the cells across the worker pool and returns their results
 // in input order. Cells already cached return instantly; the rest run at
-// most Workers at a time. Errors surface once the batch drains (work
-// already in flight is not cancelled); the first failing cell's error is
-// returned.
-func (r *Runner) Results(cells []Cell) ([]*simulator.Result, error) {
+// most Workers at a time. The batch drains before returning — on
+// cancellation, cells not yet started are skipped, cells mid-simulation
+// finish, and only then does the call return (with ctx.Err unless a
+// simulation failed first) — so no worker goroutine outlives the call.
+func (r *Runner) Results(ctx context.Context, cells []Cell) ([]*simulator.Result, error) {
 	out := make([]*simulator.Result, len(cells))
 	errs := make([]error, len(cells))
 	var wg sync.WaitGroup
@@ -155,22 +225,34 @@ func (r *Runner) Results(cells []Cell) ([]*simulator.Result, error) {
 		wg.Add(1)
 		go func(i int, c Cell) {
 			defer wg.Done()
-			out[i], errs[i] = r.Result(c)
+			out[i], errs[i] = r.Result(ctx, c)
 		}(i, c)
 	}
 	wg.Wait()
+	// A real simulation failure beats the ambient cancellation error.
+	var ctxErr error
 	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		if err == nil {
+			continue
 		}
+		if isCtxErr(err) {
+			if ctxErr == nil {
+				ctxErr = err
+			}
+			continue
+		}
+		return nil, err
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
 	}
 	return out, nil
 }
 
 // Compare runs every scheduler at the given capacity against the shared
 // master-seed trace — the paired comparison of Figures 15/17/18.
-func (r *Runner) Compare(capacity int, scheds []string) ([]*simulator.Result, error) {
-	return r.Results(ComparisonCells(scheds, capacity))
+func (r *Runner) Compare(ctx context.Context, capacity int, scheds []string) ([]*simulator.Result, error) {
+	return r.Results(ctx, ComparisonCells(scheds, capacity))
 }
 
 // trace returns the memoized workload trace for a (seed, arrival) pair.
@@ -191,11 +273,20 @@ func (r *Runner) trace(seed int64, arrival scenario.ArrivalSpec) (*workload.Trac
 	return e.trace, e.err
 }
 
-// runCell executes one simulation: resolve the scenario, generate (or
-// recall) the trace its arrival process shapes, build the scheduler from
-// the registry with the cell-derived seed, expand the capacity timeline,
-// simulate.
-func (r *Runner) runCell(c Cell) (*simulator.Result, error) {
+// runCell executes one simulation: wait for a worker slot (or the
+// context), resolve the scenario, generate (or recall) the trace its
+// arrival process shapes, build the scheduler from the registry with the
+// cell-derived seed, expand the capacity timeline, simulate.
+func (r *Runner) runCell(ctx context.Context, c Cell) (*simulator.Result, error) {
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-r.sem }()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	scn, err := scenario.Get(c.Scenario)
 	if err != nil {
@@ -206,6 +297,9 @@ func (r *Runner) runCell(c Cell) (*simulator.Result, error) {
 		return nil, err
 	}
 	tcfg := r.params.TraceConfig(c.TraceSeed)
+	if r.OnCellStart != nil {
+		r.OnCellStart(c)
+	}
 	// The worker pool owns all concurrency: Workers is the total CPU
 	// budget, cells are the unit of parallelism, and scheduler-internal
 	// fan-out (ONES's evolution loop) is pinned to 1 so it neither
@@ -216,16 +310,18 @@ func (r *Runner) runCell(c Cell) (*simulator.Result, error) {
 	// Parallelism (its candidate randomness is pre-seeded serially), so
 	// this is a pure perf knob.
 	sched, err := schedulers.New(c.Scheduler, schedulers.Config{
-		Seed:        c.schedulerSeed(r.params.Seed),
-		ArrivalRate: tcfg.ArrivalRate(),
-		Population:  r.params.Population,
-		Parallelism: 1,
+		Seed:         c.schedulerSeed(r.params.Seed),
+		ArrivalRate:  tcfg.ArrivalRate(),
+		Population:   r.params.Population,
+		MutationRate: r.params.MutationRate,
+		Parallelism:  1,
 	})
 	if err != nil {
 		return nil, err
 	}
 	simCfg := simulator.DefaultConfig(trace)
 	simCfg.Topo = c.Topology()
+	simCfg.RecordEvents = r.params.RecordEvents
 	// The capacity timeline is seeded from the cell key minus the
 	// scheduler, so paired comparisons face the identical world.
 	simCfg.Capacity = scn.Capacity.Timeline(c.scenarioSeed(r.params.Seed), simCfg.MaxTime)
@@ -235,7 +331,7 @@ func (r *Runner) runCell(c Cell) (*simulator.Result, error) {
 		return nil, err
 	}
 	if r.OnCell != nil {
-		r.OnCell(c, time.Since(start))
+		r.OnCell(c, res, time.Since(start))
 	}
 	return res, nil
 }

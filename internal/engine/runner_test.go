@@ -1,7 +1,10 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"reflect"
+	"repro/internal/simulator"
 	"runtime"
 	"sync"
 	"testing"
@@ -38,7 +41,7 @@ func TestRunnerDeterministicAcrossWorkerCounts(t *testing.T) {
 	var baseline []any
 	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
 		r := NewRunner(testParams(workers))
-		results, err := r.Results(cells)
+		results, err := r.Results(context.Background(), cells)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -61,11 +64,11 @@ func TestRunnerSeedChangesResults(t *testing.T) {
 	p1 := testParams(1)
 	p2 := testParams(1)
 	p2.Seed = 8
-	r1, err := NewRunner(p1).Result(cell)
+	r1, err := NewRunner(p1).Result(context.Background(), cell)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := NewRunner(p2).Result(cell)
+	r2, err := NewRunner(p2).Result(context.Background(), cell)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +81,7 @@ func TestRunnerCacheDedupes(t *testing.T) {
 	r := NewRunner(testParams(4))
 	var mu sync.Mutex
 	ran := 0
-	r.OnCell = func(Cell, time.Duration) {
+	r.OnCell = func(Cell, *simulator.Result, time.Duration) {
 		mu.Lock()
 		ran++
 		mu.Unlock()
@@ -88,10 +91,10 @@ func TestRunnerCacheDedupes(t *testing.T) {
 	// forms (Capacity 0 ⇒ 64, TraceSeed 0 ⇒ master) of a fresh cell.
 	batch := append(append([]Cell{}, cells...), cells...)
 	batch = append(batch, Cell{Scheduler: "fifo"}, Cell{Scheduler: "fifo", Capacity: 64, TraceSeed: 7})
-	if _, err := r.Results(batch); err != nil {
+	if _, err := r.Results(context.Background(), batch); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Results(cells); err != nil {
+	if _, err := r.Results(context.Background(), cells); err != nil {
 		t.Fatal(err)
 	}
 	want := len(cells) + 1 // the grid plus the deduped 64-GPU FIFO cell
@@ -105,7 +108,7 @@ func TestRunnerCacheDedupes(t *testing.T) {
 
 func TestRunnerPairsTraces(t *testing.T) {
 	r := NewRunner(testParams(2))
-	results, err := r.Compare(16, []string{"fifo", "sjf"})
+	results, err := r.Compare(context.Background(), 16, []string{"fifo", "sjf"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,14 +128,39 @@ func TestRunnerDefaultsEmptyCapacities(t *testing.T) {
 
 func TestRunnerUnknownScheduler(t *testing.T) {
 	r := NewRunner(testParams(1))
-	if _, err := r.Result(Cell{Scheduler: "bogus", Capacity: 16}); err == nil {
+	if _, err := r.Result(context.Background(), Cell{Scheduler: "bogus", Capacity: 16}); err == nil {
 		t.Error("unknown scheduler accepted")
+	}
+}
+
+func TestRunnerComposedScenarioCell(t *testing.T) {
+	r := NewRunner(testParams(2))
+	res, err := r.Result(context.Background(), Cell{Scheduler: "fifo", Capacity: 32, Scenario: "diurnal+spot"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CapacityEvents == 0 {
+		t.Error("composed scenario applied no spot capacity events")
+	}
+	// The composed cell's trace shares the plain-diurnal arrival spec:
+	// one more cell under "diurnal" must reuse the generated trace.
+	if _, err := r.Result(context.Background(), Cell{Scheduler: "fifo", Capacity: 32, Scenario: "diurnal"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.CachedTraces(); got != 1 {
+		t.Errorf("CachedTraces = %d, want composed and plain diurnal to share one trace", got)
+	}
+}
+
+func TestGetExperimentSentinel(t *testing.T) {
+	if _, err := GetExperiment("fig999"); !errors.Is(err, ErrUnknownExperiment) {
+		t.Errorf("GetExperiment error does not wrap sentinel: %v", err)
 	}
 }
 
 func TestRunnerUnknownScenario(t *testing.T) {
 	r := NewRunner(testParams(1))
-	_, err := r.Result(Cell{Scheduler: "fifo", Capacity: 16, Scenario: "bogus"})
+	_, err := r.Result(context.Background(), Cell{Scheduler: "fifo", Capacity: 16, Scenario: "bogus"})
 	if err == nil {
 		t.Error("unknown scenario accepted")
 	}
@@ -147,7 +175,7 @@ func TestRunnerSharesTracesAcrossScenarios(t *testing.T) {
 		{Scheduler: "fifo", Capacity: 16, Scenario: "node-failure"},
 		{Scheduler: "fifo", Capacity: 16, Scenario: "diurnal"},
 	}
-	if _, err := r.Results(cells); err != nil {
+	if _, err := r.Results(context.Background(), cells); err != nil {
 		t.Fatal(err)
 	}
 	if got := r.CachedTraces(); got != 2 {
@@ -157,7 +185,7 @@ func TestRunnerSharesTracesAcrossScenarios(t *testing.T) {
 
 func TestRunnerNodeFailureEvictsButCompletes(t *testing.T) {
 	r := NewRunner(testParams(2))
-	res, err := r.Result(Cell{Scheduler: "tiresias", Capacity: 32, Scenario: "node-failure"})
+	res, err := r.Result(context.Background(), Cell{Scheduler: "tiresias", Capacity: 32, Scenario: "node-failure"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,4 +260,4 @@ func TestDeclaredCellsDedupes(t *testing.T) {
 	}
 }
 
-func nopRun(r *Runner) (string, error) { return "", nil }
+func nopRun(ctx context.Context, r *Runner) (string, error) { return "", nil }

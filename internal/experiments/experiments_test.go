@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"strings"
 	"testing"
@@ -16,7 +17,7 @@ func runExp(t *testing.T, r *engine.Runner, name string) string {
 	if !ok {
 		t.Fatalf("experiment %q not registered", name)
 	}
-	out, err := e.Run(r)
+	out, err := e.Run(context.Background(), r)
 	if err != nil {
 		t.Fatalf("%s: %v", name, err)
 	}
@@ -180,7 +181,7 @@ func TestFullPipelineQuick(t *testing.T) {
 		exps = append(exps, e)
 	}
 	cells := engine.DeclaredCells(exps, r.Params())
-	if _, err := r.Results(cells); err != nil {
+	if _, err := r.Results(context.Background(), cells); err != nil {
 		t.Fatal(err)
 	}
 	warmed := r.CachedCells()

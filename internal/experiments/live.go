@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -27,7 +28,7 @@ type Fig16Row struct {
 var fig16 = engine.Experiment{
 	Name:  "fig16",
 	Title: "live scaling overhead: elastic vs checkpoint-based (measured)",
-	Run: func(r *engine.Runner) (string, error) {
+	Run: func(ctx context.Context, r *engine.Runner) (string, error) {
 		rows, err := Fig16Rows(r.Params())
 		if err != nil {
 			return "", err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -16,7 +17,7 @@ import (
 var fig6 = engine.Experiment{
 	Name:  "fig6",
 	Title: "online prediction of training progress on a held-out job",
-	Run: func(r *engine.Runner) (string, error) {
+	Run: func(ctx context.Context, r *engine.Runner) (string, error) {
 		pred := predictor.New(r.Params().Seed, predictor.DefaultConfig())
 		catalog := workload.Catalog()
 		// Train the model on completed jobs spanning the catalog.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -35,12 +36,12 @@ var scenarioSweep = engine.Experiment{
 	Name:  "scenario",
 	Title: "scheduler robustness under elastic capacity, failures and shifting load",
 	Cells: scenarioCells,
-	Run: func(r *engine.Runner) (string, error) {
+	Run: func(ctx context.Context, r *engine.Runner) (string, error) {
 		scheds := engine.PaperSchedulers()
 		scenarios := sweepScenarios()
 		// Same helper as the Cells declaration: the scenario-major layout
 		// below must match the cells the driver prewarmed.
-		flat, err := r.Results(scenarioCells(r.Params()))
+		flat, err := r.Results(ctx, scenarioCells(r.Params()))
 		if err != nil {
 			return "", err
 		}

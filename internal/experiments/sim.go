@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -28,8 +29,8 @@ var fig15 = engine.Experiment{
 	Name:  "fig15",
 	Title: "head-to-head scheduler comparison on the 64-GPU trace",
 	Cells: fig15Cells,
-	Run: func(r *engine.Runner) (string, error) {
-		results, err := r.Compare(0, engine.PaperSchedulers())
+	Run: func(ctx context.Context, r *engine.Runner) (string, error) {
+		results, err := r.Compare(ctx, 0, engine.PaperSchedulers())
 		if err != nil {
 			return "", err
 		}
@@ -67,8 +68,8 @@ var table4 = engine.Experiment{
 	Name:  "table4",
 	Title: "Wilcoxon significance tests on the paired Figure 15 JCTs",
 	Cells: fig15Cells,
-	Run: func(r *engine.Runner) (string, error) {
-		results, err := r.Compare(0, engine.PaperSchedulers())
+	Run: func(ctx context.Context, r *engine.Runner) (string, error) {
+		results, err := r.Compare(ctx, 0, engine.PaperSchedulers())
 		if err != nil {
 			return "", err
 		}
@@ -107,14 +108,14 @@ var table4 = engine.Experiment{
 // capacity, in Params.Capacities order. Every cell of the sweep is
 // issued in a single batch — no barrier between capacities — so a
 // non-prewarmed caller still overlaps all independent runs.
-func sweepResults(r *engine.Runner) (map[int][]*simulator.Result, error) {
+func sweepResults(ctx context.Context, r *engine.Runner) (map[int][]*simulator.Result, error) {
 	caps := r.Params().Capacities
 	scheds := engine.PaperSchedulers()
 	var cells []engine.Cell
 	for _, capGPUs := range caps {
 		cells = append(cells, engine.ComparisonCells(scheds, capGPUs)...)
 	}
-	flat, err := r.Results(cells)
+	flat, err := r.Results(ctx, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -130,8 +131,8 @@ var fig17 = engine.Experiment{
 	Name:  "fig17",
 	Title: "average JCT vs cluster capacity",
 	Cells: sweepCells,
-	Run: func(r *engine.Runner) (string, error) {
-		byCap, err := sweepResults(r)
+	Run: func(ctx context.Context, r *engine.Runner) (string, error) {
+		byCap, err := sweepResults(ctx, r)
 		if err != nil {
 			return "", err
 		}
@@ -159,8 +160,8 @@ var fig18 = engine.Experiment{
 	Name:  "fig18",
 	Title: "JCT relative to ONES per capacity",
 	Cells: sweepCells,
-	Run: func(r *engine.Runner) (string, error) {
-		byCap, err := sweepResults(r)
+	Run: func(ctx context.Context, r *engine.Runner) (string, error) {
+		byCap, err := sweepResults(ctx, r)
 		if err != nil {
 			return "", err
 		}

@@ -1,0 +1,84 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrIncompatible is wrapped by Compose when two parts claim the same
+// dimension of the world (two arrival processes, two failure processes,
+// …); match it with errors.Is.
+var ErrIncompatible = errors.New("scenario: incompatible composition")
+
+// Compose merges registered scenarios into one combined world model, so
+// a single cell can simulate e.g. a spot-market day: diurnal arrivals
+// AND spot preemptions at once. The composed spec is named by joining
+// the parts with "+" ("diurnal+spot"), the form the registry's Get also
+// parses directly.
+//
+// Each dimension of the world may be claimed by at most one part:
+//
+//   - the arrival process (at most one part with a non-default Arrival),
+//   - the node-failure process (FailMTBF),
+//   - the spot-preemption process (PreemptMTBF).
+//
+// Planned capacity events concatenate (the simulator sorts them by
+// time), MinServers takes the most conservative (largest) floor, and
+// Horizon the longest non-zero value. Composition keeps determinism: the
+// merged spec is a pure value, so trace caching (keyed by ArrivalSpec)
+// and capacity-timeline seeding behave exactly as for built-in specs.
+func Compose(names ...string) (Spec, error) {
+	if len(names) == 0 {
+		return Spec{}, fmt.Errorf("%w: no scenario names given", ErrIncompatible)
+	}
+	var (
+		out    Spec
+		parts  []string
+		titles []string
+	)
+	for _, raw := range names {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			return Spec{}, fmt.Errorf("%w: empty scenario name in %v", ErrIncompatible, names)
+		}
+		s, ok := Lookup(name)
+		if !ok {
+			return Spec{}, fmt.Errorf("%w %q (known: %v)", ErrUnknown, name, Names())
+		}
+		parts = append(parts, s.Name)
+		titles = append(titles, s.Title)
+		if s.Arrival != (ArrivalSpec{}) {
+			if out.Arrival != (ArrivalSpec{}) {
+				return Spec{}, fmt.Errorf("%w: %v claim two arrival processes (%s and %s)",
+					ErrIncompatible, parts, out.Arrival, s.Arrival)
+			}
+			out.Arrival = s.Arrival
+		}
+		c := s.Capacity
+		if c.FailMTBF > 0 {
+			if out.Capacity.FailMTBF > 0 {
+				return Spec{}, fmt.Errorf("%w: %v claim two node-failure processes", ErrIncompatible, parts)
+			}
+			out.Capacity.FailMTBF = c.FailMTBF
+			out.Capacity.FailRepair = c.FailRepair
+		}
+		if c.PreemptMTBF > 0 {
+			if out.Capacity.PreemptMTBF > 0 {
+				return Spec{}, fmt.Errorf("%w: %v claim two spot-preemption processes", ErrIncompatible, parts)
+			}
+			out.Capacity.PreemptMTBF = c.PreemptMTBF
+			out.Capacity.PreemptRestock = c.PreemptRestock
+		}
+		out.Capacity.Planned = append(out.Capacity.Planned, c.Planned...)
+		if c.MinServers > out.Capacity.MinServers {
+			out.Capacity.MinServers = c.MinServers
+		}
+		if c.Horizon > out.Capacity.Horizon {
+			out.Capacity.Horizon = c.Horizon
+		}
+	}
+	out.Name = strings.Join(parts, "+")
+	out.Title = strings.Join(titles, " + ")
+	return out, nil
+}

@@ -1,0 +1,123 @@
+package scenario
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestComposeMergesDisjointDimensions(t *testing.T) {
+	s, err := Compose(Diurnal, Spot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "diurnal+spot" {
+		t.Errorf("Name = %q", s.Name)
+	}
+	if s.Arrival.Kind != ArrivalDiurnal {
+		t.Errorf("arrival process not taken from diurnal: %+v", s.Arrival)
+	}
+	if s.Capacity.PreemptMTBF != 400 || s.Capacity.PreemptRestock != 800 {
+		t.Errorf("preemption process not taken from spot: %+v", s.Capacity)
+	}
+	if s.Capacity.MinServers != 2 {
+		t.Errorf("MinServers = %d, want spot's floor 2", s.Capacity.MinServers)
+	}
+	if s.Capacity.IsStatic() {
+		t.Error("composed spec lost its capacity churn")
+	}
+}
+
+func TestComposeThreeWay(t *testing.T) {
+	s, err := Compose(Burst, NodeFailure, Elastic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "burst+node-failure+elastic" {
+		t.Errorf("Name = %q", s.Name)
+	}
+	if s.Arrival.Kind != ArrivalBurst {
+		t.Errorf("arrival = %+v", s.Arrival)
+	}
+	if s.Capacity.FailMTBF != 300 {
+		t.Errorf("failure process lost: %+v", s.Capacity)
+	}
+	if len(s.Capacity.Planned) == 0 {
+		t.Error("planned elastic events lost")
+	}
+}
+
+func TestComposeRejectsConflicts(t *testing.T) {
+	cases := map[string][]string{
+		"two arrival processes": {Diurnal, Burst},
+		"two failure processes": {NodeFailure, NodeFailure},
+		"two preempt processes": {Spot, Spot},
+	}
+	for why, names := range cases {
+		if _, err := Compose(names...); !errors.Is(err, ErrIncompatible) {
+			t.Errorf("%s (%v): err = %v, want ErrIncompatible", why, names, err)
+		}
+	}
+}
+
+func TestComposeUnknownPart(t *testing.T) {
+	_, err := Compose(Diurnal, "bogus")
+	if !errors.Is(err, ErrUnknown) {
+		t.Fatalf("err = %v, want ErrUnknown", err)
+	}
+	if _, err := Compose(); !errors.Is(err, ErrIncompatible) {
+		t.Errorf("empty Compose: %v", err)
+	}
+	if _, err := Compose(Diurnal, " "); !errors.Is(err, ErrIncompatible) {
+		t.Errorf("blank part: %v", err)
+	}
+}
+
+func TestGetParsesComposedNames(t *testing.T) {
+	s, err := Get("diurnal+spot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "diurnal+spot" || s.Arrival.Kind != ArrivalDiurnal || s.Capacity.PreemptMTBF != 400 {
+		t.Errorf("Get composed the wrong spec: %+v", s)
+	}
+	// Composition is deterministic: same name, same value.
+	again, err := Get("diurnal+spot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Arrival != again.Arrival || s.Capacity.PreemptMTBF != again.Capacity.PreemptMTBF {
+		t.Error("repeated Get of a composed name differs")
+	}
+	if _, err := Get("diurnal+bogus"); !errors.Is(err, ErrUnknown) {
+		t.Errorf("Get with unknown part: %v", err)
+	}
+	if _, err := Get("diurnal+burst"); !errors.Is(err, ErrIncompatible) {
+		t.Errorf("Get with incompatible parts: %v", err)
+	}
+}
+
+func TestRegisterRejectsPlusInName(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("Register with '+' in the name did not panic")
+		} else if !strings.Contains(r.(string), "Compose") {
+			t.Errorf("panic message does not point at Compose: %v", r)
+		}
+	}()
+	Register(Spec{Name: "a+b"})
+}
+
+func TestDuplicatePanicMessageIsActionable(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+		msg, _ := r.(string)
+		if !strings.Contains(msg, Steady) || !strings.Contains(msg, "duplicate") {
+			t.Errorf("panic message unclear: %q", msg)
+		}
+	}()
+	Register(Spec{Name: Steady})
+}

@@ -1,10 +1,16 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 )
+
+// ErrUnknown is wrapped by Get for names absent from the registry; match
+// it with errors.Is.
+var ErrUnknown = errors.New("scenario: unknown scenario")
 
 // Spec is a named description of how the world changes during a run:
 // the arrival process a trace is generated from and the capacity
@@ -46,8 +52,11 @@ func Register(s Spec) {
 	if s.Name == "" {
 		panic("scenario: Register with empty name")
 	}
+	if strings.Contains(s.Name, "+") {
+		panic(fmt.Sprintf("scenario: Register %q — %q is reserved for composition (see Compose); register the parts under plain names", s.Name, "+"))
+	}
 	if _, dup := registry[s.Name]; dup {
-		panic(fmt.Sprintf("scenario: duplicate registration of %q", s.Name))
+		panic(fmt.Sprintf("scenario: duplicate registration of %q — two world models would silently shadow each other and corrupt experiments; pick a distinct name", s.Name))
 	}
 	registry[s.Name] = s
 }
@@ -61,11 +70,18 @@ func Lookup(name string) (Spec, bool) {
 }
 
 // Get returns the named scenario or an error listing the known names.
+// Names containing "+" compose on the fly: Get("diurnal+spot") merges
+// the two registered specs through Compose, so any registry consumer
+// (experiment cells, tracegen flags, the public SDK) can model combined
+// worlds without pre-registering every pairing.
 func Get(name string) (Spec, error) {
+	if strings.Contains(name, "+") {
+		return Compose(strings.Split(name, "+")...)
+	}
 	if s, ok := Lookup(name); ok {
 		return s, nil
 	}
-	return Spec{}, fmt.Errorf("scenario: unknown scenario %q (known: %v)", name, Names())
+	return Spec{}, fmt.Errorf("%w %q (known: %v)", ErrUnknown, name, Names())
 }
 
 // Names returns the registered scenario names, sorted.

@@ -1,12 +1,17 @@
 package schedulers
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"repro/internal/simulator"
 )
+
+// ErrUnknown is wrapped by New for names absent from the registry; match
+// it with errors.Is.
+var ErrUnknown = errors.New("schedulers: unknown scheduler")
 
 // Config carries the policy-independent knobs a scheduler factory may use.
 // Factories ignore fields that do not apply to their policy.
@@ -44,7 +49,7 @@ func Register(name string, f Factory) {
 		panic("schedulers: Register with empty name or nil factory")
 	}
 	if _, dup := registry[name]; dup {
-		panic(fmt.Sprintf("schedulers: duplicate registration of %q", name))
+		panic(fmt.Sprintf("schedulers: duplicate registration of %q — two policies would silently shadow each other and corrupt experiments; pick a distinct name", name))
 	}
 	registry[name] = f
 }
@@ -55,9 +60,17 @@ func New(name string, cfg Config) (simulator.Scheduler, error) {
 	f, ok := registry[name]
 	registryMu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("schedulers: unknown scheduler %q (known: %v)", name, Names())
+		return nil, fmt.Errorf("%w %q (known: %v)", ErrUnknown, name, Names())
 	}
 	return f(cfg), nil
+}
+
+// Has reports whether a scheduler is registered under the given name.
+func Has(name string) bool {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	_, ok := registry[name]
+	return ok
 }
 
 // Names returns the registered scheduler names, sorted.

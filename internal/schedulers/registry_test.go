@@ -1,6 +1,7 @@
 package schedulers
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -49,6 +50,27 @@ func mustPanicRegistering(t *testing.T, why, name string, f Factory) {
 func TestRegisterDuplicatePanics(t *testing.T) {
 	mustPanicRegistering(t, "duplicate name", "ones",
 		func(cfg Config) simulator.Scheduler { return NewFIFO() })
+}
+
+func TestRegisterDuplicatePanicMessageIsActionable(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+		msg, _ := r.(string)
+		if !strings.Contains(msg, `"ones"`) || !strings.Contains(msg, "duplicate") {
+			t.Errorf("panic message does not name the clash: %q", msg)
+		}
+	}()
+	Register("ones", func(cfg Config) simulator.Scheduler { return NewFIFO() })
+}
+
+func TestNewWrapsTypedSentinel(t *testing.T) {
+	_, err := New("no-such-policy", Config{})
+	if !errors.Is(err, ErrUnknown) {
+		t.Errorf("New error does not wrap ErrUnknown: %v", err)
+	}
 }
 
 func TestRegisterNilFactoryPanics(t *testing.T) {

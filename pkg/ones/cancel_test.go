@@ -1,0 +1,132 @@
+package ones
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// cancelSession builds a session whose fig15-style comparison has enough
+// cells that cancelling after the first completed one always leaves work
+// pending.
+func cancelSession(t *testing.T, workers int, extra ...Option) *Session {
+	t.Helper()
+	opts := append([]Option{
+		WithQuickScale(),
+		WithTrace(Trace{Jobs: 8, MeanInterarrival: 25}),
+		WithPopulation(4),
+		WithSeed(5),
+		WithWorkers(workers),
+	}, extra...)
+	s, err := New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestCancelMidRunAllWorkerCounts cancels a comparison after its first
+// completed cell at every worker count the determinism contract pins,
+// and checks prompt return, a clean context.Canceled, full drain (no
+// events after return) and that the cancellation never reaches the
+// memo cache: an uncancelled rerun is identical to an untouched
+// session's.
+func TestCancelMidRunAllWorkerCounts(t *testing.T) {
+	schedulers := []string{"fifo", "sjf", "tiresias", "optimus", "drl"}
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var (
+			mu    sync.Mutex
+			seen  int
+			first sync.Once
+		)
+		s := cancelSession(t, workers, WithObserver(ObserverFunc(func(p Progress) {
+			if p.Kind == KindCellDone {
+				mu.Lock()
+				seen++
+				mu.Unlock()
+				first.Do(cancel)
+			}
+		})))
+		_, err := s.Compare(ctx, schedulers...)
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: Compare after cancel = %v, want context.Canceled", workers, err)
+		}
+		mu.Lock()
+		atReturn := seen
+		mu.Unlock()
+		if maxRan := workers + 1; atReturn > maxRan {
+			t.Errorf("workers=%d: %d cells completed after mid-run cancel, want ≤ %d", workers, atReturn, maxRan)
+		}
+		time.Sleep(20 * time.Millisecond)
+		mu.Lock()
+		after := seen
+		mu.Unlock()
+		if after != atReturn {
+			t.Errorf("workers=%d: workers not drained: %d cells completed after Compare returned", workers, after-atReturn)
+		}
+
+		// Uncancelled rerun on the same session vs an untouched session.
+		rerun, err := s.Compare(context.Background(), schedulers...)
+		if err != nil {
+			t.Fatalf("workers=%d: rerun: %v", workers, err)
+		}
+		fresh, err := cancelSession(t, workers).Compare(context.Background(), schedulers...)
+		if err != nil {
+			t.Fatalf("workers=%d: fresh: %v", workers, err)
+		}
+		for i := range rerun {
+			if rerun[i].MeanJCT != fresh[i].MeanJCT || rerun[i].Makespan != fresh[i].Makespan ||
+				len(rerun[i].Jobs) != len(fresh[i].Jobs) {
+				t.Errorf("workers=%d: %s: rerun after cancel differs from untouched session",
+					workers, schedulers[i])
+			}
+		}
+	}
+}
+
+// TestRunExperimentCancel cancels the experiment prewarm and verifies
+// the rendered output of a later uncancelled run is byte-identical to an
+// untouched session's.
+func TestRunExperimentCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var first sync.Once
+	s := cancelSession(t, 2, WithObserver(ObserverFunc(func(p Progress) {
+		if p.Kind == KindCellDone {
+			first.Do(cancel)
+		}
+	})))
+	_, err := s.RunExperiment(ctx, "fig15")
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunExperiment after cancel = %v, want context.Canceled", err)
+	}
+	out, err := s.RunExperiment(context.Background(), "fig15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cancelSession(t, 2).RunExperiment(context.Background(), "fig15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != want {
+		t.Error("fig15 rendered after a cancelled attempt differs from an untouched session's")
+	}
+}
+
+// TestCancelBeforeStart: a dead context simulates nothing.
+func TestCancelBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := cancelSession(t, 2)
+	if _, err := s.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := s.SimulatedCells(); got != 0 {
+		t.Errorf("SimulatedCells = %d under a pre-cancelled context, want 0", got)
+	}
+}

@@ -1,0 +1,78 @@
+package ones
+
+import (
+	"time"
+
+	"repro/internal/runtime"
+)
+
+// LiveSpec describes a job for the live goroutine mini-cluster — the
+// in-process data-parallel trainer (real ring all-reduce, real
+// checkpoints) behind the paper's Figure 16 elastic-scaling
+// measurements.
+type LiveSpec struct {
+	Name        string
+	ParamCount  int     // model parameters (floats)
+	GlobalBatch int     // samples per step across all workers
+	LR          float64 // SGD learning rate
+	Momentum    float64 // SGD momentum coefficient
+	DatasetSize int     // synthetic samples regenerated on checkpoint restart
+}
+
+// LiveJob is a running live-cluster training job.
+type LiveJob struct {
+	job *runtime.Job
+}
+
+// StartLiveJob launches the job on n live workers.
+func StartLiveJob(spec LiveSpec, n int) (*LiveJob, error) {
+	j, err := runtime.Start(runtime.Spec{
+		Name:        spec.Name,
+		ParamCount:  spec.ParamCount,
+		GlobalBatch: spec.GlobalBatch,
+		LR:          float32(spec.LR),
+		Momentum:    float32(spec.Momentum),
+		DatasetSize: spec.DatasetSize,
+	}, n)
+	if err != nil {
+		return nil, err
+	}
+	return &LiveJob{job: j}, nil
+}
+
+// Workers returns the current worker count.
+func (l *LiveJob) Workers() int { return l.job.Workers() }
+
+// Steps returns the number of optimizer steps completed.
+func (l *LiveJob) Steps() int64 { return l.job.Steps() }
+
+// Loss returns the current training loss.
+func (l *LiveJob) Loss() float64 { return l.job.Loss() }
+
+// Pause stops the workers at the next step boundary.
+func (l *LiveJob) Pause() { l.job.Pause() }
+
+// Resume restarts paused workers.
+func (l *LiveJob) Resume() error { return l.job.Resume() }
+
+// ParamsDigest returns one replica-parameter digest per worker; after
+// any rescale the digests must agree (the all-reduce kept replicas in
+// sync).
+func (l *LiveJob) ParamsDigest() []float64 { return l.job.ParamsDigest() }
+
+// RescaleElastic grows or shrinks the job to newWorkers with global
+// batch newGlobalBatch through ONES's checkpoint-free elastic path,
+// returning the training interruption it cost.
+func (l *LiveJob) RescaleElastic(newWorkers, newGlobalBatch int) (time.Duration, error) {
+	return l.job.RescaleElastic(newWorkers, newGlobalBatch)
+}
+
+// RescaleCheckpoint performs the same rescale through the conventional
+// save–stop–restart–reload path, returning the (much longer)
+// interruption it cost.
+func (l *LiveJob) RescaleCheckpoint(newWorkers, newGlobalBatch int) (time.Duration, error) {
+	return l.job.RescaleCheckpoint(newWorkers, newGlobalBatch)
+}
+
+// Stop terminates the job's workers.
+func (l *LiveJob) Stop() { l.job.Stop() }

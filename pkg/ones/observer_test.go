@@ -1,0 +1,173 @@
+package ones
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recorder collects progress events thread-safely.
+type recorder struct {
+	mu     sync.Mutex
+	events []Progress
+}
+
+func (r *recorder) Observe(p Progress) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, p)
+}
+
+func (r *recorder) byKind() map[ProgressKind][]Progress {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[ProgressKind][]Progress)
+	for _, p := range r.events {
+		out[p.Kind] = append(out[p.Kind], p)
+	}
+	return out
+}
+
+func TestObserverStreamsCellProgress(t *testing.T) {
+	rec := &recorder{}
+	s := quickSession(t, WithObserver(rec))
+	if _, err := s.Compare(context.Background(), "fifo", "sjf"); err != nil {
+		t.Fatal(err)
+	}
+	got := rec.byKind()
+	if n := len(got[KindRunStart]); n != 1 {
+		t.Errorf("run-start events = %d, want 1", n)
+	}
+	if n := len(got[KindRunDone]); n != 1 {
+		t.Errorf("run-done events = %d, want 1", n)
+	}
+	if n := len(got[KindCellStart]); n != 2 {
+		t.Errorf("cell-start events = %d, want 2", n)
+	}
+	done := got[KindCellDone]
+	if len(done) != 2 {
+		t.Fatalf("cell-done events = %d, want 2", len(done))
+	}
+	for _, p := range done {
+		if p.Cell == "" || p.Scheduler == "" || p.Capacity != 16 || p.Scenario != "steady" {
+			t.Errorf("cell-done event missing coordinates: %+v", p)
+		}
+		if p.Elapsed <= 0 {
+			t.Errorf("cell-done event without elapsed time: %+v", p)
+		}
+		if p.Done < 1 || p.Total != 2 {
+			t.Errorf("cell-done progress counters wrong: done=%d total=%d", p.Done, p.Total)
+		}
+		// Live metrics ride on the event.
+		if p.Result == nil {
+			t.Fatalf("cell-done event without Result: %+v", p)
+		}
+		if p.Result.MeanJCT <= 0 || len(p.Result.Jobs) == 0 || p.Result.Scenario != "steady" {
+			t.Errorf("cell-done Result incomplete: %+v", p.Result)
+		}
+	}
+	// A memoized re-run emits the batch bracket but no cell events, and
+	// the cached cells count as done immediately: the closing run-done
+	// must show a completed batch, not one stuck below Total.
+	if _, err := s.Compare(context.Background(), "fifo", "sjf"); err != nil {
+		t.Fatal(err)
+	}
+	got = rec.byKind()
+	if n := len(got[KindCellDone]); n != 2 {
+		t.Errorf("cache hits re-emitted cell events: %d total", n)
+	}
+	last := got[KindRunDone][len(got[KindRunDone])-1]
+	if last.Done != last.Total || last.Total != 4 {
+		t.Errorf("cached batch left progress incomplete: done=%d total=%d, want 4/4", last.Done, last.Total)
+	}
+}
+
+// TestStreamCloseWhileBlocked: a consumer that stops reading and closes
+// the stream must unblock a sender stuck on the full buffer — the
+// engine can never deadlock on an abandoned stream.
+func TestStreamCloseWhileBlocked(t *testing.T) {
+	stream := NewStream(1)
+	stream.Observe(Progress{Kind: KindRunStart}) // fills the buffer
+	sent := make(chan struct{})
+	go func() {
+		stream.Observe(Progress{Kind: KindCellDone}) // blocks: buffer full
+		close(sent)
+	}()
+	stream.Close()
+	select {
+	case <-sent:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Observe still blocked after Close: engine would deadlock")
+	}
+	// The channel still drains the buffered event, then ends the range.
+	n := 0
+	for range stream.Events() {
+		n++
+	}
+	if n != 1 {
+		t.Errorf("drained %d buffered events, want 1", n)
+	}
+}
+
+func TestObserverExperimentEvents(t *testing.T) {
+	rec := &recorder{}
+	s, err := New(WithQuickScale(), WithObserver(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fig2 needs no simulation cells: only experiment + batch events.
+	if _, err := s.RunExperiment(context.Background(), "fig2"); err != nil {
+		t.Fatal(err)
+	}
+	got := rec.byKind()
+	if len(got[KindExperimentStart]) != 1 || len(got[KindExperimentDone]) != 1 {
+		t.Fatalf("experiment events missing: %v", got)
+	}
+	if got[KindExperimentDone][0].Experiment != "fig2" {
+		t.Errorf("experiment-done names %q", got[KindExperimentDone][0].Experiment)
+	}
+}
+
+func TestStreamDeliversAndCloses(t *testing.T) {
+	stream := NewStream(4)
+	s := quickSession(t, WithObserver(stream))
+
+	var (
+		wg     sync.WaitGroup
+		events []Progress
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for p := range stream.Events() {
+			events = append(events, p)
+		}
+	}()
+	if _, err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	stream.Close()
+	wg.Wait()
+
+	if len(events) < 3 { // run-start, cell-start, cell-done, run-done
+		t.Fatalf("stream delivered %d events, want ≥ 3: %+v", len(events), events)
+	}
+	if events[0].Kind != KindRunStart || events[len(events)-1].Kind != KindRunDone {
+		t.Errorf("stream order wrong: first %s, last %s", events[0].Kind, events[len(events)-1].Kind)
+	}
+	// Close is idempotent and post-Close observes are discarded.
+	stream.Close()
+	stream.Observe(Progress{Kind: KindRunStart})
+}
+
+func TestMultiObserverFansOut(t *testing.T) {
+	a, b := &recorder{}, &recorder{}
+	s := quickSession(t, WithObserver(MultiObserver(a, nil, b)))
+	if _, err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.events) == 0 || len(a.events) != len(b.events) {
+		t.Errorf("fan-out uneven: %d vs %d events", len(a.events), len(b.events))
+	}
+}

@@ -1,0 +1,160 @@
+package ones
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+)
+
+// settings accumulate the functional options into the engine parameters
+// plus the session-level simulation shape.
+type settings struct {
+	params    engine.Params
+	scheduler string
+	scenario  string
+	servers   int
+	gpusPer   int
+	trace     Trace
+	observer  Observer
+	err       error // first option-validation failure, surfaced by New
+}
+
+// Option configures a Session under construction. Options are applied in
+// order; later options override earlier ones.
+type Option func(*settings)
+
+func (s *settings) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// WithScheduler selects the scheduling policy by registry name ("ones",
+// "drl", "tiresias", "optimus", "fifo", "sjf" — see Schedulers). The
+// default is "ones".
+func WithScheduler(name string) Option {
+	return func(s *settings) { s.scheduler = name }
+}
+
+// WithScenario selects the world model by registry name (see Scenarios).
+// Names joined with "+" compose: "diurnal+spot" simulates a spot-market
+// day — diurnal arrivals over preemptible capacity. The default is
+// "steady", the paper's fixed testbed.
+func WithScenario(name string) Option {
+	return func(s *settings) { s.scenario = name }
+}
+
+// WithTopology shapes the cluster: servers homogeneous servers of
+// gpusPerServer GPUs each. The default is the paper's Longhorn testbed,
+// 16 servers × 4 GPUs.
+func WithTopology(servers, gpusPerServer int) Option {
+	return func(s *settings) {
+		if servers <= 0 || gpusPerServer <= 0 {
+			s.fail(fmt.Errorf("ones: WithTopology(%d, %d): both dimensions must be positive", servers, gpusPerServer))
+			return
+		}
+		s.servers = servers
+		s.gpusPer = gpusPerServer
+	}
+}
+
+// WithTrace shapes the generated workload (see Trace). Zero fields keep
+// their defaults.
+func WithTrace(t Trace) Option {
+	return func(s *settings) {
+		if t.Jobs < 0 || t.MeanInterarrival < 0 || t.MaxGPUs < 0 {
+			s.fail(fmt.Errorf("ones: WithTrace(%+v): negative field", t))
+			return
+		}
+		s.trace = t
+	}
+}
+
+// WithSeed sets the master RNG seed (default 1). Traces and per-run
+// scheduler seeds derive from it deterministically: the same seed yields
+// byte-identical results at any worker count.
+func WithSeed(seed int64) Option {
+	return func(s *settings) { s.params.Seed = seed }
+}
+
+// WithWorkers bounds how many simulations run concurrently (0 or unset ⇒
+// GOMAXPROCS). Purely a throughput knob — results are identical at any
+// setting.
+func WithWorkers(n int) Option {
+	return func(s *settings) {
+		if n < 0 {
+			s.fail(fmt.Errorf("ones: WithWorkers(%d): negative worker count", n))
+			return
+		}
+		s.params.Workers = n
+	}
+}
+
+// WithPopulation overrides ONES's evolutionary population size K.
+// Smaller populations run faster with slightly noisier search.
+func WithPopulation(k int) Option {
+	return func(s *settings) {
+		if k < 0 {
+			s.fail(fmt.Errorf("ones: WithPopulation(%d): negative population", k))
+			return
+		}
+		s.params.Population = k
+	}
+}
+
+// WithMutationRate overrides ONES's mutation rate θ (0 keeps the
+// scheduler default).
+func WithMutationRate(theta float64) Option {
+	return func(s *settings) {
+		if theta < 0 || theta > 1 {
+			s.fail(fmt.Errorf("ones: WithMutationRate(%v): want 0 ≤ θ ≤ 1", theta))
+			return
+		}
+		s.params.MutationRate = theta
+	}
+}
+
+// WithCapacities sets the GPU counts the capacity-sweep experiments
+// (fig17, fig18) simulate. Ignored by single runs, which size the
+// cluster from WithTopology.
+func WithCapacities(gpus ...int) Option {
+	return func(s *settings) {
+		for _, g := range gpus {
+			if g <= 0 {
+				s.fail(fmt.Errorf("ones: WithCapacities(%v): capacities must be positive", gpus))
+				return
+			}
+		}
+		s.params.Capacities = append([]int(nil), gpus...)
+	}
+}
+
+// WithEventLog retains the per-job scheduling event log on every Result
+// (off by default: the log is bulky).
+func WithEventLog(record bool) Option {
+	return func(s *settings) { s.params.RecordEvents = record }
+}
+
+// WithObserver streams progress and live metrics to obs (see Observer).
+// Observer callbacks may come from multiple goroutines but all complete
+// before the triggering Session method returns.
+func WithObserver(obs Observer) Option {
+	return func(s *settings) { s.observer = obs }
+}
+
+// WithQuickScale switches the experiment scale to smoke-test size: short
+// traces, small populations, two sweep capacities. Like any option,
+// later options override it field by field (and it overrides earlier
+// WithTrace/WithPopulation/WithCapacities settings).
+func WithQuickScale() Option {
+	return func(s *settings) {
+		q := engine.QuickParams()
+		s.params.Jobs = q.Jobs
+		s.params.Interarrival = q.Interarrival
+		s.params.Population = q.Population
+		s.params.Capacities = q.Capacities
+		s.params.ParamScale = q.ParamScale
+		s.params.CFPoints = q.CFPoints
+		s.trace = Trace{}
+	}
+}

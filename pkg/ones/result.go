@@ -1,0 +1,156 @@
+package ones
+
+import (
+	"repro/internal/engine"
+	"repro/internal/simulator"
+	"repro/internal/stats"
+)
+
+// Job is the public view of one completed job's metrics.
+type Job struct {
+	ID     int     `json:"id"`
+	Name   string  `json:"name"`
+	Submit float64 `json:"submit_s"`
+	Start  float64 `json:"start_s"` // first time the job held a GPU (-1 if it never ran)
+	Done   float64 `json:"done_s"`
+	JCT    float64 `json:"jct_s"`   // Done − Submit
+	Exec   float64 `json:"exec_s"`  // seconds holding GPUs
+	Queue  float64 `json:"queue_s"` // JCT − Exec
+}
+
+// Event is one entry of the optional scheduling event log (see
+// WithEventLog). Kinds: "arrive", "start", "rescale", "preempt",
+// "complete", "evict", "capacity".
+type Event struct {
+	Time  float64 `json:"time_s"`
+	Kind  string  `json:"kind"`
+	Job   int     `json:"job"`
+	GPUs  int     `json:"gpus"`  // allocation after the event
+	Batch int     `json:"batch"` // global batch after the event
+}
+
+// Distribution summarizes a per-job duration: the five-number box
+// statistics of the paper's Figure 15d–f.
+type Distribution struct {
+	Min    float64 `json:"min"`
+	Q1     float64 `json:"q1"`
+	Median float64 `json:"median"`
+	Q3     float64 `json:"q3"`
+	Max    float64 `json:"max"`
+}
+
+// Result is the stable public view of one simulation run. It marshals
+// cleanly to JSON (see cmd/onesim -json) and carries both per-job
+// metrics and the summary statistics the paper's figures report.
+type Result struct {
+	Scheduler string `json:"scheduler"` // display name, e.g. "ONES"
+	Scenario  string `json:"scenario"`
+	Capacity  int    `json:"capacity_gpus"` // initial cluster capacity
+	TraceSeed int64  `json:"trace_seed"`
+
+	Jobs []Job `json:"jobs"`
+
+	Makespan  float64      `json:"makespan_s"`
+	MeanJCT   float64      `json:"mean_jct_s"`
+	MeanExec  float64      `json:"mean_exec_s"`
+	MeanQueue float64      `json:"mean_queue_s"`
+	JCT       Distribution `json:"jct_distribution"`
+
+	// Utilization is the average busy fraction of the capacity actually
+	// available at each instant (elastic scenarios shrink the
+	// denominator while servers are away).
+	Utilization        float64 `json:"utilization"`
+	BusyGPUSeconds     float64 `json:"busy_gpu_seconds"`
+	CapacityGPUSeconds float64 `json:"capacity_gpu_seconds,omitempty"`
+
+	// Reconfigs counts deployed allocation changes (start/rescale/preempt).
+	Reconfigs int `json:"reconfigs"`
+	// Evictions counts jobs forced off their GPUs by server losses (the
+	// scenario's failures, preemptions and drains), each later requeued.
+	Evictions int `json:"evictions,omitempty"`
+	// CapacityEvents counts applied cluster topology changes.
+	CapacityEvents int `json:"capacity_events,omitempty"`
+
+	// Truncated is true when the simulation's time cap elapsed with jobs
+	// still unfinished; their metrics are absent from Jobs.
+	Truncated  bool `json:"truncated,omitempty"`
+	Unfinished int  `json:"unfinished,omitempty"`
+
+	// Events is the scheduling event log (only with WithEventLog).
+	Events []Event `json:"events,omitempty"`
+}
+
+// FractionDoneWithin returns the fraction of completed jobs whose JCT is
+// at most the given number of seconds (the paper's "jobs completed
+// within 200 s" headline).
+func (r *Result) FractionDoneWithin(seconds float64) float64 {
+	if len(r.Jobs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, j := range r.Jobs {
+		if j.JCT <= seconds {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Jobs))
+}
+
+// newResult converts an internal simulation result into the public view.
+func newResult(cell engine.Cell, p engine.Params, res *simulator.Result) *Result {
+	seed := cell.TraceSeed
+	if seed == 0 {
+		seed = p.Seed
+	}
+	scenarioName := cell.Scenario
+	if scenarioName == "" {
+		scenarioName = "steady"
+	}
+	capacity := cell.Capacity
+	if capacity <= 0 {
+		capacity = res.TotalGPUs
+	}
+	out := &Result{
+		Scheduler:          res.Scheduler,
+		Scenario:           scenarioName,
+		Capacity:           capacity,
+		TraceSeed:          seed,
+		Jobs:               make([]Job, len(res.Jobs)),
+		Makespan:           res.Makespan,
+		MeanJCT:            res.MeanJCT(),
+		MeanExec:           res.MeanExec(),
+		MeanQueue:          res.MeanQueue(),
+		Utilization:        res.Utilization(),
+		BusyGPUSeconds:     res.BusyGPUSeconds,
+		CapacityGPUSeconds: res.CapacityGPUSeconds,
+		Reconfigs:          res.Reconfigs,
+		Evictions:          res.Evictions,
+		CapacityEvents:     res.CapacityEvents,
+		Truncated:          res.Truncated,
+		Unfinished:         res.Unfinished,
+	}
+	for i, j := range res.Jobs {
+		out.Jobs[i] = Job{
+			ID:     int(j.ID),
+			Name:   j.Name,
+			Submit: j.Submit,
+			Start:  j.Start,
+			Done:   j.Done,
+			JCT:    j.JCT,
+			Exec:   j.Exec,
+			Queue:  j.Queue,
+		}
+	}
+	box := stats.Box(res.JCTs())
+	out.JCT = Distribution{Min: box.Min, Q1: box.Q1, Median: box.Median, Q3: box.Q3, Max: box.Max}
+	for _, ev := range res.Events {
+		out.Events = append(out.Events, Event{
+			Time:  ev.Time,
+			Kind:  string(ev.Kind),
+			Job:   int(ev.Job),
+			GPUs:  ev.GPUs,
+			Batch: ev.Batch,
+		})
+	}
+	return out
+}
