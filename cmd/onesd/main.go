@@ -1,0 +1,85 @@
+// Command onesd is the ONES scheduling daemon: an HTTP control plane
+// over the public ones SDK that multiplexes many client sessions in one
+// process, shares one singleflight result cache across all of them, and
+// (with -cache-dir) persists every completed simulation cell to disk so
+// restarts serve warm work without recomputation.
+//
+//	onesd -addr :8080 -cache-dir /var/cache/onesd
+//
+//	curl -s localhost:8080/v1/schedulers
+//	curl -s -X POST localhost:8080/v1/runs -d '{"scheduler":"ones","jobs":60,"quick":true}'
+//	curl -s localhost:8080/v1/runs/run-000001
+//	curl -sN localhost:8080/v1/runs/run-000001/stream
+//	curl -s -X DELETE localhost:8080/v1/runs/run-000001
+//
+// See cmd/onesd/README.md for the full endpoint reference and
+// DESIGN.md ("Network service") for cache layout and cancellation
+// semantics. SIGINT/SIGTERM shut the daemon down gracefully: in-flight
+// runs are cancelled (aborting mid-cell within sub-second latency),
+// streams receive their terminal event, and the listener drains.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/pkg/ones"
+	"repro/pkg/ones/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		cacheDir = flag.String("cache-dir", "", "persist completed simulation cells here (empty: shared in-memory cache only)")
+		timeout  = flag.Duration("shutdown-timeout", 30*time.Second, "grace period for in-flight runs on shutdown")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "onesd: ", log.LstdFlags)
+
+	cache, err := ones.NewCache(*cacheDir, logger.Printf)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	if *cacheDir != "" {
+		logger.Printf("persisting cells to %s", *cacheDir)
+	}
+
+	srv := serve.New(cache, logger)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		logger.Printf("shutting down (signal)")
+	case err := <-errc:
+		logger.Fatalf("listen: %v", err)
+	}
+
+	// Cancel every in-flight run first — mid-cell cancellation makes
+	// this sub-second — so streaming handlers reach their terminal event
+	// and the HTTP drain below completes promptly.
+	shutCtx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		logger.Printf("run drain: %v", err)
+	}
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		logger.Printf("http drain: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "onesd: bye")
+}

@@ -9,16 +9,26 @@
 //	onesim -sched tiresias -gpus 32 -jobs 60 -interarrival 20
 //	onesim -sched ones -scenario diurnal+spot -pop 16 -verbose
 //	onesim -sched ones -json | jq .mean_jct_s
+//	onesim -cache-dir ~/.cache/onesim -sched ones   # rerun is instant
 //
-// The process exits non-zero on error; Ctrl-C cancels the run cleanly at
-// the next cell boundary.
+// With -json every outcome is machine-readable: success prints the full
+// result object, and any failure (unknown scheduler or scenario, run
+// error) prints {"error": "..."} to stdout — so a pipeline's jq/python
+// stage always has JSON to parse — and exits non-zero. Without -json,
+// errors go to stderr as plain text.
+//
+// The process exits non-zero on error; Ctrl-C cancels the run cleanly —
+// mid-cell, within sub-second latency. With -cache-dir, completed runs
+// persist and identical reruns are served from disk, byte-identical.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -27,24 +37,37 @@ import (
 )
 
 func main() {
-	var (
-		sched        = flag.String("sched", "ones", "scheduler: "+strings.Join(ones.Schedulers(), "|"))
-		scenarioName = flag.String("scenario", "steady", `world model (compose with "+", e.g. "diurnal+spot")`)
-		gpus         = flag.Int("gpus", 64, "cluster capacity in GPUs (4 per server)")
-		jobs         = flag.Int("jobs", 120, "number of jobs in the trace")
-		interarrival = flag.Float64("interarrival", 12, "mean seconds between arrivals")
-		seed         = flag.Int64("seed", 1, "master RNG seed")
-		pop          = flag.Int("pop", 32, "ONES population size K")
-		verbose      = flag.Bool("verbose", false, "print per-job metrics")
-		events       = flag.Bool("events", false, "print the scheduling event log")
-		asJSON       = flag.Bool("json", false, "emit the full result as JSON for scripting")
-	)
-	flag.Parse()
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	s, err := ones.New(
+// run is the testable body of main: parse flags, build a session,
+// simulate, render. It returns the process exit code.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("onesim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		sched        = fs.String("sched", "ones", "scheduler: "+strings.Join(ones.Schedulers(), "|"))
+		scenarioName = fs.String("scenario", "steady", `world model (compose with "+", e.g. "diurnal+spot")`)
+		gpus         = fs.Int("gpus", 64, "cluster capacity in GPUs (4 per server)")
+		jobs         = fs.Int("jobs", 120, "number of jobs in the trace")
+		interarrival = fs.Float64("interarrival", 12, "mean seconds between arrivals")
+		seed         = fs.Int64("seed", 1, "master RNG seed")
+		pop          = fs.Int("pop", 32, "ONES population size K")
+		cacheDir     = fs.String("cache-dir", "", "persist completed runs here; identical reruns load instead of simulating")
+		verbose      = fs.Bool("verbose", false, "print per-job metrics")
+		events       = fs.Bool("events", false, "print the scheduling event log")
+		asJSON       = fs.Bool("json", false, "emit the full result (or an {\"error\": ...} object) as JSON for scripting")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	opts := []ones.Option{
 		ones.WithScheduler(*sched),
 		ones.WithScenario(*scenarioName),
 		ones.WithTopology((*gpus+3)/4, 4),
@@ -52,53 +75,73 @@ func main() {
 		ones.WithSeed(*seed),
 		ones.WithPopulation(*pop),
 		ones.WithEventLog(*events),
-	)
+	}
+	if *cacheDir != "" {
+		cache, err := ones.NewCache(*cacheDir, func(format string, a ...any) {
+			fmt.Fprintf(stderr, "onesim: "+format+"\n", a...)
+		})
+		if err != nil {
+			return fail(stdout, stderr, *asJSON, err)
+		}
+		opts = append(opts, ones.WithCache(cache))
+	}
+	s, err := ones.New(opts...)
 	if err != nil {
-		fatal(err)
+		return fail(stdout, stderr, *asJSON, err)
 	}
 	res, err := s.Run(ctx)
 	if err != nil {
-		fatal(err)
+		return fail(stdout, stderr, *asJSON, err)
 	}
 
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(res); err != nil {
-			fatal(err)
+			return fail(stdout, stderr, false, err)
 		}
-		return
+		return 0
 	}
 
-	fmt.Printf("scheduler   %s\n", res.Scheduler)
-	fmt.Printf("scenario    %s\n", res.Scenario)
-	fmt.Printf("jobs        %d (unfinished: %d)\n", len(res.Jobs), res.Unfinished)
-	fmt.Printf("makespan    %.1f s\n", res.Makespan)
-	fmt.Printf("avg JCT     %.2f s   (median %.1f, p75 %.1f, max %.1f)\n",
+	fmt.Fprintf(stdout, "scheduler   %s\n", res.Scheduler)
+	fmt.Fprintf(stdout, "scenario    %s\n", res.Scenario)
+	fmt.Fprintf(stdout, "jobs        %d (unfinished: %d)\n", len(res.Jobs), res.Unfinished)
+	fmt.Fprintf(stdout, "makespan    %.1f s\n", res.Makespan)
+	fmt.Fprintf(stdout, "avg JCT     %.2f s   (median %.1f, p75 %.1f, max %.1f)\n",
 		res.MeanJCT, res.JCT.Median, res.JCT.Q3, res.JCT.Max)
-	fmt.Printf("avg exec    %.2f s\n", res.MeanExec)
-	fmt.Printf("avg queue   %.2f s\n", res.MeanQueue)
-	fmt.Printf("reconfigs   %d\n", res.Reconfigs)
+	fmt.Fprintf(stdout, "avg exec    %.2f s\n", res.MeanExec)
+	fmt.Fprintf(stdout, "avg queue   %.2f s\n", res.MeanQueue)
+	fmt.Fprintf(stdout, "reconfigs   %d\n", res.Reconfigs)
 	if res.Evictions > 0 || res.CapacityEvents > 0 {
-		fmt.Printf("evictions   %d (capacity events: %d)\n", res.Evictions, res.CapacityEvents)
+		fmt.Fprintf(stdout, "evictions   %d (capacity events: %d)\n", res.Evictions, res.CapacityEvents)
 	}
-	fmt.Printf("utilization %.1f%%\n", 100*res.Utilization)
+	fmt.Fprintf(stdout, "utilization %.1f%%\n", 100*res.Utilization)
 	if *verbose {
-		fmt.Printf("\n%6s %-26s %10s %10s %10s %10s\n", "job", "task", "submit", "jct", "exec", "queue")
+		fmt.Fprintf(stdout, "\n%6s %-26s %10s %10s %10s %10s\n", "job", "task", "submit", "jct", "exec", "queue")
 		for _, j := range res.Jobs {
-			fmt.Printf("%6d %-26s %10.1f %10.1f %10.1f %10.1f\n",
+			fmt.Fprintf(stdout, "%6d %-26s %10.1f %10.1f %10.1f %10.1f\n",
 				j.ID, j.Name, j.Submit, j.JCT, j.Exec, j.Queue)
 		}
 	}
 	if *events {
-		fmt.Printf("\n%10s %-9s %6s %6s %8s\n", "time", "event", "job", "gpus", "batch")
+		fmt.Fprintf(stdout, "\n%10s %-9s %6s %6s %8s\n", "time", "event", "job", "gpus", "batch")
 		for _, ev := range res.Events {
-			fmt.Printf("%10.1f %-9s %6d %6d %8d\n", ev.Time, ev.Kind, ev.Job, ev.GPUs, ev.Batch)
+			fmt.Fprintf(stdout, "%10.1f %-9s %6d %6d %8d\n", ev.Time, ev.Kind, ev.Job, ev.GPUs, ev.Batch)
 		}
 	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "onesim:", err)
-	os.Exit(1)
+// fail reports an error and returns the exit code. In JSON mode the
+// error goes to STDOUT as a JSON object — a scripting pipeline reading
+// onesim's output gets parseable JSON on every path, success or failure
+// — while plain mode keeps the traditional stderr line.
+func fail(stdout, stderr io.Writer, asJSON bool, err error) int {
+	if asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.Encode(map[string]string{"error": err.Error()})
+	} else {
+		fmt.Fprintln(stderr, "onesim:", err)
+	}
+	return 1
 }

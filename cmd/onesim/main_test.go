@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// runCLI invokes the command body and decodes stdout as a single JSON
+// value when asJSON is set.
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(context.Background(), args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestJSONErrorUnknownScheduler: -json failures emit {"error": ...} on
+// stdout (the stream a pipeline parses) and exit non-zero.
+func TestJSONErrorUnknownScheduler(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-json", "-sched", "bogus")
+	if code == 0 {
+		t.Fatal("unknown scheduler exited 0")
+	}
+	var e map[string]string
+	if err := json.Unmarshal([]byte(stdout), &e); err != nil {
+		t.Fatalf("stdout %q is not a JSON object: %v", stdout, err)
+	}
+	if e["error"] == "" || !strings.Contains(e["error"], "bogus") {
+		t.Errorf("error object %v does not name the offending scheduler", e)
+	}
+}
+
+// TestJSONErrorUnknownScenario covers the second -json error path.
+func TestJSONErrorUnknownScenario(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-json", "-scenario", "nope")
+	if code == 0 {
+		t.Fatal("unknown scenario exited 0")
+	}
+	var e map[string]string
+	if err := json.Unmarshal([]byte(stdout), &e); err != nil {
+		t.Fatalf("stdout %q is not a JSON object: %v", stdout, err)
+	}
+	if e["error"] == "" || !strings.Contains(e["error"], "nope") {
+		t.Errorf("error object %v does not name the offending scenario", e)
+	}
+}
+
+// TestPlainErrorStderr: without -json, errors keep the traditional
+// plain-text stderr line and an empty stdout.
+func TestPlainErrorStderr(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-sched", "bogus")
+	if code == 0 {
+		t.Fatal("unknown scheduler exited 0")
+	}
+	if stdout != "" {
+		t.Errorf("plain-mode error wrote to stdout: %q", stdout)
+	}
+	if !strings.Contains(stderr, "bogus") {
+		t.Errorf("stderr %q does not name the error", stderr)
+	}
+}
+
+// TestHelpExitsZero: -h prints usage and succeeds, as the old
+// flag.ExitOnError behaviour did — help in a set -e script is not an
+// error.
+func TestHelpExitsZero(t *testing.T) {
+	code, _, stderr := runCLI(t, "-h")
+	if code != 0 {
+		t.Fatalf("-h exited %d, want 0", code)
+	}
+	if !strings.Contains(stderr, "-sched") {
+		t.Errorf("usage text missing from stderr: %q", stderr)
+	}
+}
+
+// TestJSONSuccess: the success path still emits the result object.
+func TestJSONSuccess(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-json", "-sched", "fifo", "-jobs", "8", "-interarrival", "25")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	var res map[string]any
+	if err := json.Unmarshal([]byte(stdout), &res); err != nil {
+		t.Fatalf("stdout is not JSON: %v", err)
+	}
+	if _, bad := res["error"]; bad {
+		t.Fatalf("success emitted an error object: %v", res)
+	}
+	if res["scheduler"] != "FIFO" {
+		t.Errorf("scheduler = %v, want FIFO", res["scheduler"])
+	}
+}
+
+// TestCancelledRunJSONError: a dead context surfaces as a JSON error
+// too (the run-failure path), not a zero exit with partial output.
+func TestCancelledRunJSONError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errb bytes.Buffer
+	code := run(ctx, []string{"-json", "-sched", "fifo", "-jobs", "8"}, &out, &errb)
+	if code == 0 {
+		t.Fatal("cancelled run exited 0")
+	}
+	var e map[string]string
+	if err := json.Unmarshal(out.Bytes(), &e); err != nil {
+		t.Fatalf("stdout %q is not a JSON object: %v", out.String(), err)
+	}
+	if e["error"] == "" {
+		t.Error("cancelled run emitted no error object")
+	}
+}

@@ -102,6 +102,21 @@ func (c Cell) scenarioSeed(master int64) int64 {
 	return deriveSeed(master, fmt.Sprintf("scenario|%s|%d|%s", c.topoKey(), c.TraceSeed, c.Scenario))
 }
 
+// CellKey renders the canonical persistent-cache key for a cell under
+// the given params: every parameter that shapes the cell's result, in a
+// fixed order, after resolving the cell's zero-value defaults — so a
+// defaulted and an explicit spelling of the same cell share one entry.
+// Parameters that only affect throughput (Workers) or experiment
+// rendering (Capacities, ParamScale, CFPoints) are deliberately absent.
+// The result-format version lives in the cache layer (servecache), not
+// here, so a format bump invalidates files without renaming keys.
+func CellKey(p Params, c Cell) string {
+	c = c.normalize(p)
+	return fmt.Sprintf("cell|seed=%d|jobs=%d|ia=%g|maxgpus=%d|pop=%d|theta=%g|events=%t|sched=%s|cap=%d|per=%d|trace=%d|scn=%s",
+		p.Seed, p.Jobs, p.Interarrival, p.MaxGPUs, p.Population, p.MutationRate, p.RecordEvents,
+		c.Scheduler, c.Capacity, c.GPUsPer, c.TraceSeed, c.Scenario)
+}
+
 // ComparisonCells returns one cell per scheduler at the given capacity,
 // all sharing the master trace seed.
 func ComparisonCells(scheds []string, capacity int) []Cell {

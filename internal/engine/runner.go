@@ -19,10 +19,11 @@ import (
 // cell runs exactly once per Runner even when several experiments request
 // it at the same time.
 //
-// Every entry point takes a context.Context. Cancellation is observed at
-// cell boundaries: cells that have not yet claimed a worker slot never
-// start, cells already simulating run to completion (a simulation is not
-// interruptible mid-flight), and batch calls drain their in-flight work
+// Every entry point takes a context.Context. Cancellation takes effect
+// both between cells and inside them: cells that have not yet claimed a
+// worker slot never start, cells mid-simulation abort within ~1k
+// simulation events (the simulator polls the context; see
+// simulator.RunContext), and batch calls drain their in-flight work
 // before returning, so no worker goroutine outlives the call. A cell
 // aborted by cancellation is NOT cached — rerunning with a live context
 // produces exactly the results an uncancelled run would have.
@@ -30,6 +31,13 @@ type Runner struct {
 	params  Params
 	workers int
 	sem     chan struct{}
+
+	// Persist, when set before the first use, backs the in-memory cell
+	// cache with a shared result cache (see internal/servecache): results
+	// are recalled from and written through to it, so they survive this
+	// Runner — and, with a disk-backed cache, this process. The Runner
+	// keys it by CellKey, which folds in every result-shaping parameter.
+	Persist Cache
 
 	// OnCellStart, when set before the first Results call, is invoked
 	// just before a cell begins simulating (cache hits do not fire it).
@@ -167,8 +175,10 @@ func isCtxErr(err error) bool {
 // acquired inside the flight, so cache hits return immediately and
 // goroutines waiting on another's in-flight computation of the same cell
 // do not hold slots the pool could be simulating with. A caller whose
-// context ends stops waiting at once; the in-flight simulation (if any)
-// still completes and is cached for the next caller.
+// context ends stops waiting at once. The claim/wait/evict-on-cancel
+// protocol is mirrored by servecache.Cache.Do (the shared cache behind
+// Persist); a change to either's cancellation semantics must be made in
+// both.
 func (r *Runner) Result(ctx context.Context, cell Cell) (*simulator.Result, error) {
 	cell = cell.normalize(r.params)
 	for {
@@ -273,11 +283,32 @@ func (r *Runner) trace(seed int64, arrival scenario.ArrivalSpec) (*workload.Trac
 	return e.trace, e.err
 }
 
-// runCell executes one simulation: wait for a worker slot (or the
+// Cache is a pluggable cross-runner result cache (implemented by
+// internal/servecache). Do returns the cached result for key or computes,
+// stores and returns a fresh one; concurrent calls with the same key are
+// deduplicated (singleflight) across every Runner sharing the cache. A
+// compute aborted by ctx cancellation must not be stored.
+type Cache interface {
+	Do(ctx context.Context, key string, compute func() (*simulator.Result, error)) (*simulator.Result, error)
+}
+
+// runCell produces one cell's result: through the shared persistent
+// cache when one is plugged in (a cache hit consumes no worker slot),
+// directly otherwise.
+func (r *Runner) runCell(ctx context.Context, c Cell) (*simulator.Result, error) {
+	if r.Persist == nil {
+		return r.simulate(ctx, c)
+	}
+	return r.Persist.Do(ctx, CellKey(r.params, c), func() (*simulator.Result, error) {
+		return r.simulate(ctx, c)
+	})
+}
+
+// simulate executes one simulation: wait for a worker slot (or the
 // context), resolve the scenario, generate (or recall) the trace its
 // arrival process shapes, build the scheduler from the registry with the
 // cell-derived seed, expand the capacity timeline, simulate.
-func (r *Runner) runCell(ctx context.Context, c Cell) (*simulator.Result, error) {
+func (r *Runner) simulate(ctx context.Context, c Cell) (*simulator.Result, error) {
 	select {
 	case r.sem <- struct{}{}:
 	case <-ctx.Done():
@@ -326,7 +357,7 @@ func (r *Runner) runCell(ctx context.Context, c Cell) (*simulator.Result, error)
 	// scheduler, so paired comparisons face the identical world.
 	simCfg.Capacity = scn.Capacity.Timeline(c.scenarioSeed(r.params.Seed), simCfg.MaxTime)
 	simCfg.MinServers = scn.Capacity.MinServers
-	res, err := simulator.Run(simCfg, sched)
+	res, err := simulator.RunContext(ctx, simCfg, sched)
 	if err != nil {
 		return nil, err
 	}

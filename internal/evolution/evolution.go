@@ -455,9 +455,19 @@ type Engine struct {
 	// DisableSampling scores with distribution means instead of Beta
 	// draws (ablation switch).
 	DisableSampling bool
+	// Cancel, when set, is polled between candidate tasks; once it
+	// reports true Iterate stops generating and returns the incumbent
+	// champion immediately. Cancellation must be monotonic (it never
+	// reverts to false), which guarantees the partially filled candidate
+	// set is never scored. Results under cancellation are stale, not
+	// wrong — callers abandon the run anyway.
+	Cancel func() bool
 
 	pop []*cluster.Schedule
 }
+
+// cancelled reports whether the optional cancellation probe fired.
+func (e *Engine) cancelled() bool { return e.Cancel != nil && e.Cancel() }
 
 // NewEngine returns an engine with population size k and mutation rate
 // theta.
@@ -540,6 +550,12 @@ func (e *Engine) Iterate(ctx *Context) *cluster.Schedule {
 		}
 	}
 	e.forEach(len(tasks), func(i int) { runTask(tasks[i]) })
+	if e.cancelled() {
+		// The probe is monotonic, so firing here proves some workers may
+		// have skipped tasks: candidate slots can be nil and must not be
+		// scored. Keep the population and return the incumbent champion.
+		return e.pop[0]
+	}
 
 	// Selection: score all candidates against one set of progress draws,
 	// keep the best K.
@@ -564,9 +580,14 @@ func (e *Engine) Iterate(ctx *Context) *cluster.Schedule {
 }
 
 // forEach runs fn over [0, n) — serially, or on Parallelism goroutines.
+// The optional Cancel probe is polled before each call; tasks after it
+// fires are skipped (callers must not consume their outputs).
 func (e *Engine) forEach(n int, fn func(i int)) {
 	if e.Parallelism <= 1 || n < 2 {
 		for i := 0; i < n; i++ {
+			if e.cancelled() {
+				return
+			}
 			fn(i)
 		}
 		return
@@ -582,6 +603,9 @@ func (e *Engine) forEach(n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if e.cancelled() {
+					return
+				}
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= n {
 					return

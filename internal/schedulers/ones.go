@@ -44,6 +44,7 @@ type ONES struct {
 	limiter     *scaling.Limiter
 	rng         *rand.Rand
 	arrivalRate float64
+	cancelled   func() bool
 
 	jobs map[cluster.JobID]*onesJob
 	// lastDeployEpochs snapshots each running job's epoch count at the
@@ -119,6 +120,16 @@ func (o *ONES) ManagesLR() bool { return true }
 // experiment read it).
 func (o *ONES) Predictor() *predictor.Predictor { return o.pred }
 
+// SetCancel implements simulator.CancelAware: the evolution loop polls
+// the probe between candidate tasks so a cancelled run aborts
+// mid-decision instead of waiting out the search.
+func (o *ONES) SetCancel(cancelled func() bool) {
+	o.cancelled = cancelled
+	if o.engine != nil {
+		o.engine.Cancel = cancelled
+	}
+}
+
 // Decide implements simulator.Scheduler.
 func (o *ONES) Decide(trigger simulator.Trigger, view *simulator.View) *cluster.Schedule {
 	if o.engine == nil {
@@ -128,6 +139,7 @@ func (o *ONES) Decide(trigger simulator.Trigger, view *simulator.View) *cluster.
 			o.PopulationSize = k
 		}
 		o.engine = evolution.NewEngine(k, o.MutationRate)
+		o.engine.Cancel = o.cancelled
 		o.engine.DisableReorder = o.DisableReorder
 		o.engine.DisableSampling = o.DisableSampling
 		if o.Parallelism > 0 {
@@ -150,6 +162,13 @@ func (o *ONES) Decide(trigger simulator.Trigger, view *simulator.View) *cluster.
 	}
 
 	o.Stats.Decisions++
+	if o.cancelled != nil && o.cancelled() {
+		// The search was cut short: the champion may be stale — it can
+		// even reference jobs that completed since the population last
+		// refreshed — so deploying it could be invalid. Keep the current
+		// deployment; the simulator is about to abort the run anyway.
+		return nil
+	}
 	if !o.shouldDeploy(trigger, view) {
 		o.Stats.GatedByEpochs++
 		return nil

@@ -1,0 +1,282 @@
+// Package servecache is the cross-session simulation-result cache
+// behind cmd/onesd and ones.WithCache: one Cache is shared by every
+// Session (each with its own engine.Runner) in a process, deduplicates
+// concurrent computations of the same cell (singleflight), memoizes
+// completed results in memory, and — when given a directory — writes
+// each result through to disk so daemon restarts and repeated CLI
+// invocations skip warm work.
+//
+// Disk layout: one file per cell, <dir>/<sha256(key)>.json, holding a
+// versioned envelope {version, key, result}. A file that fails to read,
+// parse, or match its expected version and key is discarded with a
+// warning and recomputed — never trusted, never fatal. Writes go through
+// a temp file + rename so a crash mid-write leaves no torn entry.
+//
+// Determinism contract: a Result loaded from disk is byte-identical
+// (under encoding/json) to the freshly computed Result it was stored
+// from. Go's float64 JSON round-trip is exact and the Result tree is
+// plain exported structs and slices, so storing and loading is the
+// identity; the round-trip tests in this package and internal/engine
+// pin that.
+package servecache
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/simulator"
+)
+
+// Version is the on-disk result-format version. Bump it whenever the
+// simulator's result semantics change: old files are then discarded (and
+// recomputed) instead of serving stale physics.
+const Version = 1
+
+// Stats counts cache outcomes since construction.
+type Stats struct {
+	// Computes is how many results were actually simulated.
+	Computes int `json:"computes"`
+	// MemoryHits served from the in-process memo.
+	MemoryHits int `json:"memory_hits"`
+	// DiskHits served by loading a persisted file.
+	DiskHits int `json:"disk_hits"`
+	// DedupWaits are calls that piggybacked on another caller's in-flight
+	// computation of the same key instead of starting their own.
+	DedupWaits int `json:"dedup_waits"`
+	// Discards counts corrupt, unreadable or version-mismatched files
+	// thrown away (each triggered a warning and a recompute).
+	Discards int `json:"discards"`
+	// Entries is the current in-memory memo size.
+	Entries int `json:"entries"`
+}
+
+// Cache implements engine.Cache: a singleflight, in-memory result memo
+// with optional disk write-through. Safe for concurrent use by any
+// number of runners.
+type Cache struct {
+	dir  string // "" ⇒ memory only
+	warn func(format string, args ...any)
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	stats   Stats
+}
+
+// entry is a singleflight slot: the goroutine that inserts it resolves
+// it (from disk or by computing) and closes done; everyone else waits on
+// done or their own context.
+type entry struct {
+	done chan struct{}
+	res  *simulator.Result
+	err  error
+}
+
+// New returns a Cache persisting to dir ("" ⇒ shared memory only, no
+// persistence). The directory is created if missing. warn receives
+// non-fatal cache problems (corrupt files, failed writes); nil ⇒
+// log.Printf.
+func New(dir string, warn func(format string, args ...any)) (*Cache, error) {
+	if warn == nil {
+		warn = log.Printf
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("servecache: create %s: %w", dir, err)
+		}
+	}
+	return &Cache{dir: dir, warn: warn, entries: make(map[string]*entry)}, nil
+}
+
+// Dir returns the persistence directory ("" when memory-only).
+func (c *Cache) Dir() string { return c.dir }
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	return s
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Do returns the result for key — from the in-memory memo, from disk, or
+// by calling compute — deduplicating concurrent callers of the same key.
+// A caller whose ctx ends stops waiting immediately. A compute that
+// returns a context error is not cached (in memory or on disk): the next
+// caller with a live context recomputes, so cancelled runs can never
+// poison the cache.
+//
+// The claim/wait/evict-on-cancel protocol deliberately mirrors
+// engine.Runner.Result (the per-runner memo in front of this cache);
+// a change to either's cancellation semantics must be made in both.
+func (c *Cache) Do(ctx context.Context, key string, compute func() (*simulator.Result, error)) (*simulator.Result, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		e, ok := c.entries[key]
+		if !ok {
+			e = &entry{done: make(chan struct{})}
+			c.entries[key] = e
+			c.mu.Unlock()
+			c.resolve(e, key, compute)
+			if e.err != nil && isCtxErr(e.err) {
+				c.mu.Lock()
+				delete(c.entries, key)
+				c.mu.Unlock()
+			}
+			close(e.done)
+		} else {
+			select {
+			case <-e.done:
+				c.stats.MemoryHits++
+			default:
+				c.stats.DedupWaits++
+			}
+			c.mu.Unlock()
+		}
+		select {
+		case <-e.done:
+			if e.err != nil {
+				if isCtxErr(e.err) && ctx.Err() == nil {
+					// The computing goroutine was cancelled but we are
+					// alive: its entry is gone, claim a fresh one.
+					continue
+				}
+				return nil, e.err
+			}
+			return e.res, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// resolve fills the entry: disk first, compute on miss, write-through on
+// success.
+func (c *Cache) resolve(e *entry, key string, compute func() (*simulator.Result, error)) {
+	if res, ok := c.load(key); ok {
+		e.res = res
+		c.count(func(s *Stats) { s.DiskHits++ })
+		return
+	}
+	e.res, e.err = compute()
+	if e.err != nil {
+		return
+	}
+	c.count(func(s *Stats) { s.Computes++ })
+	c.store(key, e.res)
+}
+
+func (c *Cache) count(f func(*Stats)) {
+	c.mu.Lock()
+	f(&c.stats)
+	c.mu.Unlock()
+}
+
+// envelope is the on-disk file format. Key is stored in full (filenames
+// only carry its hash) both for auditability and to detect the
+// astronomically unlikely — or adversarially constructed — hash
+// collision as a mismatch instead of serving the wrong cell.
+type envelope struct {
+	Version int               `json:"version"`
+	Key     string            `json:"key"`
+	Result  *simulator.Result `json:"result"`
+}
+
+// path maps a key to its cache file.
+func (c *Cache) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+".json")
+}
+
+// load reads a persisted result, discarding (with a warning) anything
+// unreadable, corrupt, version-mismatched or keyed differently.
+func (c *Cache) load(key string) (*simulator.Result, bool) {
+	if c.dir == "" {
+		return nil, false
+	}
+	path := c.path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			c.discard(path, fmt.Sprintf("unreadable: %v", err))
+		}
+		return nil, false
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		c.discard(path, fmt.Sprintf("corrupt JSON: %v", err))
+		return nil, false
+	}
+	if env.Version != Version {
+		c.discard(path, fmt.Sprintf("format version %d, want %d", env.Version, Version))
+		return nil, false
+	}
+	if env.Key != key {
+		c.discard(path, fmt.Sprintf("key mismatch (%.60q...)", env.Key))
+		return nil, false
+	}
+	if env.Result == nil {
+		c.discard(path, "missing result")
+		return nil, false
+	}
+	return env.Result, true
+}
+
+// discard warns about and removes a bad cache file; the caller recomputes.
+func (c *Cache) discard(path, reason string) {
+	c.count(func(s *Stats) { s.Discards++ })
+	c.warn("servecache: discarding %s: %s", filepath.Base(path), reason)
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		c.warn("servecache: remove %s: %v", filepath.Base(path), err)
+	}
+}
+
+// store writes a result through to disk (temp file + rename, so readers
+// and crashes never see a torn entry). Failures warn and continue: the
+// in-memory memo still has the result.
+func (c *Cache) store(key string, res *simulator.Result) {
+	if c.dir == "" {
+		return
+	}
+	data, err := json.Marshal(envelope{Version: Version, Key: key, Result: res})
+	if err != nil {
+		c.warn("servecache: encode %.60q...: %v", key, err)
+		return
+	}
+	path := c.path(key)
+	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
+	if err != nil {
+		c.warn("servecache: temp file: %v", err)
+		return
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		c.warn("servecache: write %s: %v", filepath.Base(path), err)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		c.warn("servecache: close %s: %v", filepath.Base(path), err)
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		c.warn("servecache: rename %s: %v", filepath.Base(path), err)
+	}
+}

@@ -1,0 +1,357 @@
+package servecache
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/scenario"
+	"repro/internal/schedulers"
+	"repro/internal/simulator"
+	"repro/internal/workload"
+)
+
+// simulate runs one small real simulation so round-trip tests face the
+// genuine Result shape (floats, metrics, optional event log) rather than
+// a hand-built fixture. With recordEvents the run also faces an elastic
+// capacity timeline, so the optional Result fields (Evictions,
+// CapacityEvents, Events) are exercised, not left at zero.
+func simulate(t *testing.T, sched string, recordEvents bool) *simulator.Result {
+	t.Helper()
+	trace, err := workload.Generate(workload.Config{Seed: 3, NumJobs: 8, MeanInterarrival: 25, MaxReqGPUs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := schedulers.New(sched, schedulers.Config{Seed: 11, ArrivalRate: 1.0 / 25, Population: 4, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := simulator.DefaultConfig(trace)
+	cfg.Topo = cluster.Topology{Servers: 4, GPUsPerServer: 4}
+	cfg.RecordEvents = recordEvents
+	if recordEvents {
+		cfg.Capacity = []scenario.CapacityEvent{
+			{Time: 40, Kind: scenario.CapacityFail, Servers: 1, Pick: 0.3},
+			{Time: 400, Kind: scenario.CapacityJoin, Servers: 1, Restocks: scenario.CapacityFail},
+		}
+	}
+	res, err := simulator.Run(cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func mustCache(t *testing.T, dir string) *Cache {
+	t.Helper()
+	c, err := New(dir, func(string, ...any) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDoComputesOnceAndMemoizes(t *testing.T) {
+	c := mustCache(t, "")
+	computes := 0
+	want := simulate(t, "fifo", false)
+	for i := 0; i < 3; i++ {
+		got, err := c.Do(context.Background(), "k", func() (*simulator.Result, error) {
+			computes++
+			return want, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatal("memo returned a different pointer than the computed result")
+		}
+	}
+	if computes != 1 {
+		t.Errorf("computed %d times, want 1", computes)
+	}
+	st := c.Stats()
+	if st.Computes != 1 || st.MemoryHits != 2 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 compute, 2 memory hits, 1 entry", st)
+	}
+}
+
+func TestDoSingleflightConcurrent(t *testing.T) {
+	c := mustCache(t, "")
+	var mu sync.Mutex
+	computes := 0
+	gate := make(chan struct{})
+	res := simulate(t, "fifo", false)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := c.Do(context.Background(), "k", func() (*simulator.Result, error) {
+				mu.Lock()
+				computes++
+				mu.Unlock()
+				<-gate // hold the flight open so every caller overlaps it
+				return res, nil
+			})
+			if err != nil || got != res {
+				t.Errorf("Do = %v, %v", got, err)
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if computes != 1 {
+		t.Errorf("%d concurrent computations of one key, want 1 (singleflight)", computes)
+	}
+}
+
+// TestDiskRoundTripByteIdentical is the persistence determinism
+// contract: a Result served from disk must be byte-identical (under
+// encoding/json) and deeply equal to the freshly computed one, for every
+// scheduler shape — including an elastic-scenario run with evictions,
+// capacity events and the full event log.
+func TestDiskRoundTripByteIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		sched  string
+		events bool
+	}{
+		{"fifo", "fifo", false},
+		{"ones-with-events", "ones", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			fresh := simulate(t, tc.sched, tc.events)
+			c1 := mustCache(t, dir)
+			if _, err := c1.Do(context.Background(), "cell", func() (*simulator.Result, error) { return fresh, nil }); err != nil {
+				t.Fatal(err)
+			}
+			// A brand-new cache over the same dir simulates a process
+			// restart: the compute func must never fire.
+			c2 := mustCache(t, dir)
+			loaded, err := c2.Do(context.Background(), "cell", func() (*simulator.Result, error) {
+				t.Fatal("recomputed despite a warm disk cache")
+				return nil, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c2.Stats().DiskHits != 1 {
+				t.Errorf("stats = %+v, want 1 disk hit", c2.Stats())
+			}
+			if !reflect.DeepEqual(fresh, loaded) {
+				t.Error("loaded result differs structurally from the fresh one")
+			}
+			fb, err := json.Marshal(fresh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lb, err := json.Marshal(loaded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(fb) != string(lb) {
+				t.Error("loaded result is not byte-identical to the fresh one")
+			}
+			if tc.events && (fresh.Evictions == 0 || len(fresh.Events) == 0) {
+				// Guard the test's own coverage: the elastic case must
+				// actually exercise the optional fields.
+				t.Logf("note: run had %d evictions, %d events", fresh.Evictions, len(fresh.Events))
+			}
+		})
+	}
+}
+
+// cacheFile returns the single cache file under dir.
+func cacheFile(t *testing.T, dir string) string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("cache dir holds %d files, want 1", len(ents))
+	}
+	return filepath.Join(dir, ents[0].Name())
+}
+
+func TestCorruptFileDiscardedWithWarning(t *testing.T) {
+	dir := t.TempDir()
+	res := simulate(t, "fifo", false)
+	c1 := mustCache(t, dir)
+	if _, err := c1.Do(context.Background(), "k", func() (*simulator.Result, error) { return res, nil }); err != nil {
+		t.Fatal(err)
+	}
+	path := cacheFile(t, dir)
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var warnings []string
+	c2, err := New(dir, func(format string, args ...any) {
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recomputed := false
+	got, err := c2.Do(context.Background(), "k", func() (*simulator.Result, error) {
+		recomputed = true
+		return res, nil
+	})
+	if err != nil || got == nil {
+		t.Fatalf("Do over corrupt file: %v, %v", got, err)
+	}
+	if !recomputed {
+		t.Error("corrupt file served instead of recomputing")
+	}
+	if len(warnings) == 0 {
+		t.Error("corrupt file discarded silently, want a warning")
+	}
+	if c2.Stats().Discards != 1 {
+		t.Errorf("stats = %+v, want 1 discard", c2.Stats())
+	}
+	// The recompute rewrites the entry: the file must be valid again.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("recomputed entry not rewritten: %v", err)
+	}
+	var env map[string]any
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Errorf("rewritten entry is not valid JSON: %v", err)
+	}
+}
+
+func TestVersionMismatchDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	res := simulate(t, "fifo", false)
+	c1 := mustCache(t, dir)
+	if _, err := c1.Do(context.Background(), "k", func() (*simulator.Result, error) { return res, nil }); err != nil {
+		t.Fatal(err)
+	}
+	path := cacheFile(t, dir)
+	// Rewrite the envelope with a stale version but intact payload.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env map[string]json.RawMessage
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	env["version"] = json.RawMessage("0")
+	stale, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var warned bool
+	c2, err := New(dir, func(string, ...any) { warned = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	recomputed := false
+	if _, err := c2.Do(context.Background(), "k", func() (*simulator.Result, error) {
+		recomputed = true
+		return res, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !recomputed || !warned {
+		t.Errorf("version-mismatched file: recomputed=%t warned=%t, want both", recomputed, warned)
+	}
+}
+
+func TestKeyMismatchDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	res := simulate(t, "fifo", false)
+	c1 := mustCache(t, dir)
+	if _, err := c1.Do(context.Background(), "k1", func() (*simulator.Result, error) { return res, nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Copy k1's file to where k2 would live — a (synthetic) collision.
+	src := cacheFile(t, dir)
+	c2 := mustCache(t, dir)
+	dst := c2.path("k2")
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recomputed := false
+	if _, err := c2.Do(context.Background(), "k2", func() (*simulator.Result, error) {
+		recomputed = true
+		return res, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !recomputed {
+		t.Error("a file keyed for another cell was served")
+	}
+}
+
+func TestCancelledComputeNotCached(t *testing.T) {
+	dir := t.TempDir()
+	c := mustCache(t, dir)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.Do(ctx, "k", func() (*simulator.Result, error) {
+		return nil, ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Computes != 0 {
+		t.Errorf("stats = %+v after a cancelled compute, want nothing cached", st)
+	}
+	if ents, _ := os.ReadDir(dir); len(ents) != 0 {
+		t.Errorf("%d files persisted by a cancelled compute, want 0", len(ents))
+	}
+	// A live retry must compute and cache normally.
+	res := simulate(t, "fifo", false)
+	if _, err := c.Do(context.Background(), "k", func() (*simulator.Result, error) { return res, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Computes != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v after the live retry, want 1 compute, 1 entry", st)
+	}
+}
+
+func TestRealErrorStaysCached(t *testing.T) {
+	c := mustCache(t, "")
+	computes := 0
+	fail := errors.New("boom")
+	for i := 0; i < 2; i++ {
+		if _, err := c.Do(context.Background(), "k", func() (*simulator.Result, error) {
+			computes++
+			return nil, fail
+		}); !errors.Is(err, fail) {
+			t.Fatalf("err = %v, want boom", err)
+		}
+	}
+	if computes != 1 {
+		t.Errorf("a deterministic failure recomputed %d times, want it cached after 1", computes)
+	}
+}
+
+func TestMemoryOnlyCacheWritesNothing(t *testing.T) {
+	c := mustCache(t, "")
+	res := simulate(t, "fifo", false)
+	if _, err := c.Do(context.Background(), "k", func() (*simulator.Result, error) { return res, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if c.Dir() != "" {
+		t.Errorf("Dir() = %q, want empty", c.Dir())
+	}
+}

@@ -10,6 +10,7 @@ package simulator
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -109,6 +110,17 @@ func (t Trigger) String() string {
 	default:
 		return "unknown"
 	}
+}
+
+// CancelAware schedulers accept a cancellation probe before a run
+// starts. A scheduler whose Decide can run long (ONES's evolutionary
+// search) polls the probe and returns early — with whatever stale
+// champion it has — once it reports true, so RunContext cancellation
+// aborts mid-decision instead of waiting out the search. Early returns
+// under cancellation may be nondeterministic; that is safe because a
+// cancelled run's result is discarded, never cached.
+type CancelAware interface {
+	SetCancel(cancelled func() bool)
 }
 
 // Scheduler is the policy under test.
@@ -344,10 +356,20 @@ func (h *eventHeap) Pop() any {
 	return x
 }
 
+// ctxPollEvery is how many simulation events pass between context
+// checks in the main loop. Polling every event would also be correct,
+// but a stride keeps the check invisible on the hot path while still
+// bounding cancellation latency to ~1k cheap events (the expensive
+// per-event work, ONES's evolution, polls its own probe and collapses
+// to near-zero cost once cancelled, so the stride passes quickly).
+const ctxPollEvery = 1024
+
 // engine is the running simulation.
 type engine struct {
 	cfg   Config
 	sched Scheduler
+	ctx   context.Context
+	polls int // events since the last ctx check
 
 	now     float64
 	topo    cluster.Topology // live topology (capacity events mutate it)
@@ -383,6 +405,15 @@ var eventHeapPool = sync.Pool{New: func() any { return new(eventHeap) }}
 
 // Run simulates the trace under the scheduler and returns per-job metrics.
 func Run(cfg Config, sched Scheduler) (*Result, error) {
+	return RunContext(context.Background(), cfg, sched)
+}
+
+// RunContext is Run with mid-run cancellation: the event loop polls ctx
+// every ctxPollEvery events (and CancelAware schedulers poll it inside
+// long decisions), so cancellation aborts the simulation within
+// sub-second latency and returns ctx.Err(). An aborted run yields no
+// Result — partial metrics would be misleading and must never be cached.
+func RunContext(ctx context.Context, cfg Config, sched Scheduler) (*Result, error) {
 	if err := cfg.Topo.Validate(); err != nil {
 		return nil, err
 	}
@@ -395,10 +426,17 @@ func Run(cfg Config, sched Scheduler) (*Result, error) {
 	if cfg.MaxTime <= 0 {
 		cfg.MaxTime = 1e7
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if ca, ok := sched.(CancelAware); ok {
+		ca.SetCancel(func() bool { return ctx.Err() != nil })
+	}
 	hp := eventHeapPool.Get().(*eventHeap)
 	e := &engine{
 		cfg:     cfg,
 		sched:   sched,
+		ctx:     ctx,
 		topo:    cfg.Topo,
 		jobs:    make(map[cluster.JobID]*jobState, len(cfg.Trace.Jobs)),
 		current: cluster.NewSchedule(cfg.Topo),
@@ -448,6 +486,14 @@ func Run(cfg Config, sched Scheduler) (*Result, error) {
 	if err := e.loop(); err != nil {
 		return nil, err
 	}
+	// A run that drains its events under a cancelled context must still
+	// fail: a CancelAware scheduler may have short-circuited its last
+	// decisions, so the metrics are not the uncancelled run's — returning
+	// them would let a caller (or the engine's cache) keep a result no
+	// live-context run would ever produce.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	e.capGPUSeconds += (e.now - e.capSegStart) * float64(e.topo.TotalGPUs())
 	res := &Result{
 		Scheduler:          sched.Name(),
@@ -472,6 +518,12 @@ func Run(cfg Config, sched Scheduler) (*Result, error) {
 
 func (e *engine) loop() error {
 	for e.events.Len() > 0 {
+		if e.polls++; e.polls >= ctxPollEvery {
+			e.polls = 0
+			if err := e.ctx.Err(); err != nil {
+				return err
+			}
+		}
 		ev := heap.Pop(&e.events).(event)
 		if ev.t > e.cfg.MaxTime {
 			return nil

@@ -1,0 +1,78 @@
+package ones
+
+import (
+	"repro/internal/servecache"
+)
+
+// Cache is a shared simulation-result cache: plug one Cache into any
+// number of Sessions (ones.WithCache) and every distinct simulation cell
+// computes at most once across all of them, with concurrent requests for
+// the same cell deduplicated (singleflight). Built with a directory, the
+// cache also persists each completed cell to disk, so a restarted
+// process — a daemon coming back up, a CLI invoked again — serves warm
+// cells without recomputation, byte-identical to the cold result.
+//
+// A cancelled run never reaches the cache, in memory or on disk, and a
+// corrupt, torn or version-mismatched cache file is discarded with a
+// warning and recomputed — a Cache can change performance, never
+// results.
+type Cache struct {
+	impl *servecache.Cache
+}
+
+// CacheStats counts cache outcomes since construction.
+type CacheStats struct {
+	// Computes is how many cells were actually simulated.
+	Computes int `json:"computes"`
+	// MemoryHits served from the in-process memo, DiskHits from a
+	// persisted file.
+	MemoryHits int `json:"memory_hits"`
+	DiskHits   int `json:"disk_hits"`
+	// DedupWaits piggybacked on another caller's in-flight computation.
+	DedupWaits int `json:"dedup_waits"`
+	// Discards counts bad cache files thrown away (warned, recomputed).
+	Discards int `json:"discards"`
+	// Entries is the current in-memory memo size.
+	Entries int `json:"entries"`
+}
+
+// NewCache returns a shared result cache. dir == "" keeps it memory-only
+// (cross-session sharing and deduplication without persistence);
+// otherwise completed cells are persisted under dir, which is created if
+// missing. warn receives non-fatal cache problems (nil ⇒ the standard
+// logger).
+func NewCache(dir string, warn func(format string, args ...any)) (*Cache, error) {
+	impl, err := servecache.New(dir, warn)
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{impl: impl}, nil
+}
+
+// Dir returns the persistence directory ("" when memory-only).
+func (c *Cache) Dir() string { return c.impl.Dir() }
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	s := c.impl.Stats()
+	return CacheStats{
+		Computes:   s.Computes,
+		MemoryHits: s.MemoryHits,
+		DiskHits:   s.DiskHits,
+		DedupWaits: s.DedupWaits,
+		Discards:   s.Discards,
+		Entries:    s.Entries,
+	}
+}
+
+// WithCache plugs a shared (and optionally persistent) result cache into
+// the Session. Sessions sharing one Cache share results: a cell any of
+// them has computed — in this process or, with persistence, a previous
+// one — is recalled instead of resimulated. Cache hits recalled from
+// outside the Session's own memo do not emit cell progress events (like
+// in-session memo hits, they execute nothing).
+func WithCache(c *Cache) Option {
+	return func(s *settings) {
+		s.cache = c
+	}
+}

@@ -118,6 +118,60 @@ func TestRunExperimentCancel(t *testing.T) {
 	}
 }
 
+// TestCancelAbortsMidCell: cancelling while ONES is deep inside a single
+// long evolutionary cell returns promptly — the simulator polls the
+// context and the evolution loop short-circuits — instead of running the
+// cell to completion. The cancelled cell must not be cached (rerun
+// byte-identity after a cancel is pinned at quick scale by
+// TestCancelMidRunAllWorkerCounts above).
+func TestCancelAbortsMidCell(t *testing.T) {
+	mk := func(obs Observer) *Session {
+		opts := []Option{
+			WithScheduler("ones"),
+			WithTrace(Trace{Jobs: 40, MeanInterarrival: 10}),
+			WithPopulation(24),
+			WithSeed(3),
+			WithWorkers(1),
+		}
+		if obs != nil {
+			opts = append(opts, WithObserver(obs))
+		}
+		s, err := New(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	started := make(chan struct{})
+	var once sync.Once
+	s := mk(ObserverFunc(func(p Progress) {
+		if p.Kind == KindCellStart {
+			once.Do(func() { close(started) })
+		}
+	}))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-started
+		time.Sleep(200 * time.Millisecond) // let the cell get deep into the run
+		cancel()
+	}()
+	start := time.Now()
+	_, err := s.Run(ctx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run after mid-cell cancel = %v, want context.Canceled", err)
+	}
+	// The uncancelled cell takes tens of seconds; sub-second abort is the
+	// contract, with generous slack for a loaded CI machine.
+	if elapsed > 3*time.Second {
+		t.Errorf("mid-cell cancellation took %v, want well under the full cell", elapsed)
+	}
+	if got := s.SimulatedCells(); got != 0 {
+		t.Errorf("SimulatedCells = %d after a cancelled cell, want 0 (not cached)", got)
+	}
+}
+
 // TestCancelBeforeStart: a dead context simulates nothing.
 func TestCancelBeforeStart(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())

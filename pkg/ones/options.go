@@ -16,6 +16,7 @@ type settings struct {
 	gpusPer   int
 	trace     Trace
 	observer  Observer
+	cache     *Cache
 	err       error // first option-validation failure, surfaced by New
 }
 

@@ -1,0 +1,273 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/pkg/ones"
+)
+
+// RunStatus is the JSON view of one run (POST /v1/runs response and
+// GET /v1/runs/{id}).
+type RunStatus struct {
+	ID      string    `json:"id"`
+	Status  string    `json:"status"` // running | done | failed | cancelled
+	Created time.Time `json:"created"`
+	Spec    RunSpec   `json:"spec"`
+	// CellsDone/CellsTotal mirror the latest progress event (0/0 before
+	// the first event arrives).
+	CellsDone  int          `json:"cells_done"`
+	CellsTotal int          `json:"cells_total"`
+	Result     *ones.Result `json:"result,omitempty"` // status "done" only
+	Error      string       `json:"error,omitempty"`  // status "failed"/"cancelled"
+}
+
+// streamEvent is one NDJSON line of GET /v1/runs/{id}/stream: the
+// progress events a ones.Observer sees, plus a terminal "end" line
+// carrying the run's final status.
+type streamEvent struct {
+	Kind       string       `json:"kind"`
+	Cell       string       `json:"cell,omitempty"`
+	Scheduler  string       `json:"scheduler,omitempty"`
+	Capacity   int          `json:"capacity,omitempty"`
+	TraceSeed  int64        `json:"trace_seed,omitempty"`
+	Scenario   string       `json:"scenario,omitempty"`
+	Experiment string       `json:"experiment,omitempty"`
+	ElapsedS   float64      `json:"elapsed_s,omitempty"`
+	Result     *ones.Result `json:"result,omitempty"`
+	Done       int          `json:"done"`
+	Total      int          `json:"total"`
+	// Terminal "end" line only.
+	Status string `json:"status,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+func toStreamEvent(p ones.Progress) streamEvent {
+	return streamEvent{
+		Kind:       string(p.Kind),
+		Cell:       p.Cell,
+		Scheduler:  p.Scheduler,
+		Capacity:   p.Capacity,
+		TraceSeed:  p.TraceSeed,
+		Scenario:   p.Scenario,
+		Experiment: p.Experiment,
+		ElapsedS:   p.Elapsed.Seconds(),
+		Result:     p.Result,
+		Done:       p.Done,
+		Total:      p.Total,
+	}
+}
+
+// Handler returns the daemon's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleCreate)
+	mux.HandleFunc("GET /v1/runs", s.handleList)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/runs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/schedulers", s.handleSchedulers)
+	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /v1/cache", s.handleCache)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (r *run) statusView() RunStatus {
+	status, res, errMsg, done, total := r.snapshot()
+	return RunStatus{
+		ID:         r.ID,
+		Status:     status,
+		Created:    r.Created,
+		Spec:       r.Spec,
+		CellsDone:  done,
+		CellsTotal: total,
+		Result:     res,
+		Error:      errMsg,
+	}
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, req *http.Request) {
+	var spec RunSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad run spec: %w", err))
+		return
+	}
+	r, err := s.start(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		switch {
+		case errors.Is(err, ErrShuttingDown):
+			code = http.StatusServiceUnavailable
+		case errors.Is(err, ones.ErrUnknownScheduler), errors.Is(err, ones.ErrUnknownScenario):
+			code = http.StatusUnprocessableEntity
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, r.statusView())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, req *http.Request) {
+	runs := s.list()
+	out := make([]RunStatus, len(runs))
+	for i, r := range runs {
+		out[i] = r.statusView()
+		// Listing stays O(#runs): the full Result (per-job metrics, event
+		// logs) is only served by GET /v1/runs/{id}.
+		out[i].Result = nil
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"runs": out})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.get(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown run %q", req.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, r.statusView())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.get(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown run %q", req.PathValue("id")))
+		return
+	}
+	r.cancel() // idempotent; a finished run is unaffected
+	writeJSON(w, http.StatusAccepted, r.statusView())
+}
+
+// handleStream replays the run's progress history and follows it live as
+// NDJSON (one JSON object per line, flushed per event), ending with a
+// terminal {"kind":"end",...} line once the run finishes. A client that
+// disconnects mid-stream just stops receiving; the run is unaffected.
+func (s *Server) handleStream(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.get(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown run %q", req.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	// Wake the cond loop below when the client goes away: the request
+	// context is cancelled either by a disconnect or by the handler
+	// returning, so this goroutine never outlives the request.
+	clientGone := req.Context()
+	go func() {
+		<-clientGone.Done()
+		// Take and release the lock before broadcasting so a wakeup can
+		// never be lost between the loop's condition check and its Wait.
+		r.mu.Lock()
+		r.mu.Unlock() //nolint:staticcheck // empty critical section is the point
+		r.cond.Broadcast()
+	}()
+
+	next := 0
+	for {
+		r.mu.Lock()
+		for next >= len(r.events) && !r.finished && clientGone.Err() == nil {
+			r.cond.Wait()
+		}
+		batch := append([]ones.Progress(nil), r.events[next:]...)
+		next += len(batch)
+		finished := r.finished
+		r.mu.Unlock()
+
+		if clientGone.Err() != nil {
+			return
+		}
+		for _, p := range batch {
+			if err := enc.Encode(toStreamEvent(p)); err != nil {
+				return
+			}
+		}
+		if len(batch) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if finished && len(batch) == 0 {
+			status, _, errMsg, done, total := r.snapshot()
+			enc.Encode(streamEvent{Kind: "end", Status: status, Error: errMsg, Done: done, Total: total})
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+	}
+}
+
+func (s *Server) handleSchedulers(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"schedulers": ones.Schedulers(),
+		"paper":      ones.PaperSchedulers(),
+	})
+}
+
+// scenarioInfo is the JSON view of one registered scenario.
+type scenarioInfo struct {
+	Name            string `json:"name"`
+	Title           string `json:"title"`
+	Arrival         string `json:"arrival"`
+	ElasticCapacity bool   `json:"elastic_capacity"`
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, req *http.Request) {
+	specs := ones.Scenarios()
+	out := make([]scenarioInfo, len(specs))
+	for i, sp := range specs {
+		out[i] = scenarioInfo{Name: sp.Name, Title: sp.Title, Arrival: sp.Arrival, ElasticCapacity: sp.ElasticCapacity}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"scenarios": out})
+}
+
+// experimentInfo is the JSON view of one registered experiment.
+type experimentInfo struct {
+	Name  string `json:"name"`
+	Title string `json:"title"`
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, req *http.Request) {
+	exps := ones.Experiments()
+	out := make([]experimentInfo, len(exps))
+	for i, e := range exps {
+		out[i] = experimentInfo{Name: e.Name, Title: e.Title}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": out})
+}
+
+func (s *Server) handleCache(w http.ResponseWriter, req *http.Request) {
+	if s.cache == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"enabled": false})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled": true,
+		"dir":     s.cache.Dir(),
+		"stats":   s.cache.Stats(),
+	})
+}

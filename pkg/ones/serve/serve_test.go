@@ -1,0 +1,388 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/pkg/ones"
+)
+
+// quickSpec is a fast deterministic run every concurrency test shares:
+// identical specs must hit one cache entry.
+func quickSpec() RunSpec {
+	return RunSpec{Scheduler: "tiresias", Jobs: 8, Interarrival: 25, Seed: 9, Quick: true}
+}
+
+// slowSpec is a run long enough to be caught mid-cell and cancelled.
+func slowSpec() RunSpec {
+	return RunSpec{Scheduler: "ones", Jobs: 40, Interarrival: 10, Population: 24, Seed: 3}
+}
+
+func newTestServer(t *testing.T, dir string) (*Server, *httptest.Server) {
+	t.Helper()
+	cache, err := ones.NewCache(dir, func(string, ...any) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(cache, nil)
+	ts := httptest.NewServer(srv.Handler())
+	return srv, ts
+}
+
+func doJSON(t *testing.T, method, url string, body any, wantCode int) []byte {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("%s %s = %d, want %d: %s", method, url, resp.StatusCode, wantCode, buf.String())
+	}
+	return buf.Bytes()
+}
+
+func createRun(t *testing.T, base string, spec RunSpec) RunStatus {
+	t.Helper()
+	var st RunStatus
+	if err := json.Unmarshal(doJSON(t, "POST", base+"/v1/runs", spec, http.StatusCreated), &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func getRun(t *testing.T, base, id string) RunStatus {
+	t.Helper()
+	var st RunStatus
+	if err := json.Unmarshal(doJSON(t, "GET", base+"/v1/runs/"+id, nil, http.StatusOK), &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// streamRun consumes the NDJSON stream to its terminal line and returns
+// every event kind seen plus the final status.
+func streamRun(t *testing.T, base, id string) (kinds []string, final streamEvent) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/runs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream Content-Type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev streamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		kinds = append(kinds, ev.Kind)
+		if ev.Kind == "end" {
+			return kinds, ev
+		}
+	}
+	t.Fatalf("stream ended without a terminal event (saw %v): %v", kinds, sc.Err())
+	return nil, streamEvent{}
+}
+
+func waitStatus(t *testing.T, base, id, want string, timeout time.Duration) RunStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st := getRun(t, base, id)
+		if st.Status == want {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run %s stuck in %q (want %q)", id, st.Status, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDaemonConcurrentClients is the tentpole's -race exercise: many
+// concurrent HTTP clients create, stream, poll and cancel runs against
+// one daemon. Identical requests are served by a single simulation
+// (shared singleflight cache), the cancelled run aborts mid-cell in
+// about a second, and shutdown leaves no goroutines behind.
+func TestDaemonConcurrentClients(t *testing.T) {
+	before := runtime.NumGoroutine()
+	srv, ts := newTestServer(t, "")
+
+	const clients = 5
+	var wg sync.WaitGroup
+	results := make([]*ones.Result, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st := createRun(t, ts.URL, quickSpec())
+			kinds, final := streamRun(t, ts.URL, st.ID)
+			if final.Status != StatusDone {
+				t.Errorf("client %d: stream ended %q: %s", i, final.Status, final.Error)
+				return
+			}
+			if len(kinds) < 2 || kinds[0] != string(ones.KindRunStart) {
+				t.Errorf("client %d: malformed event stream %v", i, kinds)
+			}
+			done := waitStatus(t, ts.URL, st.ID, StatusDone, 30*time.Second)
+			results[i] = done.Result
+		}(i)
+	}
+
+	// A sixth concurrent client starts a long run and cancels it mid-cell.
+	wg.Add(1)
+	var cancelLatency time.Duration
+	go func() {
+		defer wg.Done()
+		st := createRun(t, ts.URL, slowSpec())
+		// Give the cell time to be genuinely mid-flight.
+		time.Sleep(300 * time.Millisecond)
+		start := time.Now()
+		doJSON(t, "DELETE", ts.URL+"/v1/runs/"+st.ID, nil, http.StatusAccepted)
+		got := waitStatus(t, ts.URL, st.ID, StatusCancelled, 10*time.Second)
+		cancelLatency = time.Since(start)
+		if got.Result != nil {
+			t.Errorf("cancelled run carries a result")
+		}
+	}()
+	wg.Wait()
+
+	// Identical requests deduplicated: one simulation, shared by all.
+	if st := srv.Cache().Stats(); st.Computes != 1 {
+		t.Errorf("cache stats = %+v, want exactly 1 compute for %d identical runs", st, clients)
+	}
+	for i, r := range results {
+		if r == nil {
+			t.Fatalf("client %d: no result", i)
+		}
+		if r.MeanJCT != results[0].MeanJCT || r.Makespan != results[0].Makespan {
+			t.Errorf("client %d saw a different result than client 0", i)
+		}
+	}
+	if cancelLatency > 3*time.Second {
+		t.Errorf("DELETE-to-cancelled took %v, want sub-second-ish mid-cell abort", cancelLatency)
+	}
+
+	// Shutdown drains every run goroutine; the HTTP server closes its
+	// handlers; nothing may leak.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked after shutdown: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestDaemonWarmRestart: a second server over the same cache directory
+// serves an identical run from disk — no simulation — byte-identical to
+// the cold result.
+func TestDaemonWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv1, ts1 := newTestServer(t, dir)
+	st := createRun(t, ts1.URL, quickSpec())
+	cold := waitStatus(t, ts1.URL, st.ID, StatusDone, 30*time.Second)
+	if err := srv1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	srv2, ts2 := newTestServer(t, dir)
+	defer func() {
+		srv2.Shutdown(context.Background())
+		ts2.Close()
+	}()
+	st2 := createRun(t, ts2.URL, quickSpec())
+	warm := waitStatus(t, ts2.URL, st2.ID, StatusDone, 30*time.Second)
+	cs := srv2.Cache().Stats()
+	if cs.Computes != 0 || cs.DiskHits != 1 {
+		t.Errorf("restarted daemon stats = %+v, want a pure disk hit", cs)
+	}
+	cb, err := json.Marshal(cold.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := json.Marshal(warm.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cb) != string(wb) {
+		t.Error("warm-restart result not byte-identical to the cold one")
+	}
+}
+
+// TestDaemonErrorPaths: bad specs and unknown runs come back as JSON
+// error objects with the right status codes.
+func TestDaemonErrorPaths(t *testing.T) {
+	srv, ts := newTestServer(t, "")
+	defer func() {
+		srv.Shutdown(context.Background())
+		ts.Close()
+	}()
+
+	body := doJSON(t, "POST", ts.URL+"/v1/runs", RunSpec{Scheduler: "bogus"}, http.StatusUnprocessableEntity)
+	var e map[string]string
+	if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
+		t.Errorf("unknown scheduler error body %q, want {\"error\": ...}", body)
+	}
+	if !strings.Contains(e["error"], "bogus") {
+		t.Errorf("error %q does not name the offending scheduler", e["error"])
+	}
+	doJSON(t, "POST", ts.URL+"/v1/runs", RunSpec{Scenario: "bogus"}, http.StatusUnprocessableEntity)
+	doJSON(t, "GET", ts.URL+"/v1/runs/run-999999", nil, http.StatusNotFound)
+	doJSON(t, "DELETE", ts.URL+"/v1/runs/run-999999", nil, http.StatusNotFound)
+	// Unknown spec fields are rejected, not silently ignored — typos in
+	// scripts must not silently run the default simulation.
+	req, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(`{"schedulr":"ones"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Body.Close()
+	if req.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field accepted with %d, want 400", req.StatusCode)
+	}
+}
+
+// TestDaemonRegistries: the discovery endpoints expose the SDK
+// registries.
+func TestDaemonRegistries(t *testing.T) {
+	srv, ts := newTestServer(t, "")
+	defer func() {
+		srv.Shutdown(context.Background())
+		ts.Close()
+	}()
+
+	var scheds struct {
+		Schedulers []string `json:"schedulers"`
+		Paper      []string `json:"paper"`
+	}
+	if err := json.Unmarshal(doJSON(t, "GET", ts.URL+"/v1/schedulers", nil, http.StatusOK), &scheds); err != nil {
+		t.Fatal(err)
+	}
+	if len(scheds.Schedulers) == 0 || len(scheds.Paper) != 4 {
+		t.Errorf("schedulers = %+v", scheds)
+	}
+	var scns struct {
+		Scenarios []scenarioInfo `json:"scenarios"`
+	}
+	if err := json.Unmarshal(doJSON(t, "GET", ts.URL+"/v1/scenarios", nil, http.StatusOK), &scns); err != nil {
+		t.Fatal(err)
+	}
+	if len(scns.Scenarios) == 0 {
+		t.Error("no scenarios listed")
+	}
+	var exps struct {
+		Experiments []experimentInfo `json:"experiments"`
+	}
+	if err := json.Unmarshal(doJSON(t, "GET", ts.URL+"/v1/experiments", nil, http.StatusOK), &exps); err != nil {
+		t.Fatal(err)
+	}
+	if len(exps.Experiments) == 0 {
+		t.Error("no experiments listed")
+	}
+	var cache struct {
+		Enabled bool `json:"enabled"`
+	}
+	if err := json.Unmarshal(doJSON(t, "GET", ts.URL+"/v1/cache", nil, http.StatusOK), &cache); err != nil {
+		t.Fatal(err)
+	}
+	if !cache.Enabled {
+		t.Error("cache endpoint reports disabled on a cache-backed server")
+	}
+	var list struct {
+		Runs []RunStatus `json:"runs"`
+	}
+	if err := json.Unmarshal(doJSON(t, "GET", ts.URL+"/v1/runs", nil, http.StatusOK), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Runs) != 0 {
+		t.Errorf("fresh server lists %d runs", len(list.Runs))
+	}
+	// Listing a finished run returns its status but not the bulky Result.
+	st := createRun(t, ts.URL, quickSpec())
+	waitStatus(t, ts.URL, st.ID, StatusDone, 30*time.Second)
+	if err := json.Unmarshal(doJSON(t, "GET", ts.URL+"/v1/runs", nil, http.StatusOK), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Runs) != 1 || list.Runs[0].Status != StatusDone {
+		t.Fatalf("list after a run = %+v", list.Runs)
+	}
+	if list.Runs[0].Result != nil {
+		t.Error("list endpoint embeds the full Result; it belongs to GET /v1/runs/{id} only")
+	}
+}
+
+// TestStreamLateSubscriber: a stream opened after the run finished
+// replays the full history and terminates.
+func TestStreamLateSubscriber(t *testing.T) {
+	srv, ts := newTestServer(t, "")
+	defer func() {
+		srv.Shutdown(context.Background())
+		ts.Close()
+	}()
+	st := createRun(t, ts.URL, quickSpec())
+	waitStatus(t, ts.URL, st.ID, StatusDone, 30*time.Second)
+	kinds, final := streamRun(t, ts.URL, st.ID)
+	if final.Status != StatusDone {
+		t.Fatalf("late stream final = %+v", final)
+	}
+	want := []string{string(ones.KindRunStart), string(ones.KindCellStart), string(ones.KindCellDone), string(ones.KindRunDone), "end"}
+	if fmt.Sprint(kinds) != fmt.Sprint(want) {
+		t.Errorf("late stream kinds = %v, want %v", kinds, want)
+	}
+}
+
+// TestShutdownRejectsNewRuns: after Shutdown begins, POST /v1/runs
+// returns 503.
+func TestShutdownRejectsNewRuns(t *testing.T) {
+	srv, ts := newTestServer(t, "")
+	defer ts.Close()
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	doJSON(t, "POST", ts.URL+"/v1/runs", quickSpec(), http.StatusServiceUnavailable)
+}

@@ -1,0 +1,287 @@
+// Package serve is the HTTP control plane of cmd/onesd — public so the daemon can
+// be embedded in other processes; it multiplexes
+// many client sessions over one process, one shared (and optionally
+// persistent) result cache, and one run table. Each POST /v1/runs builds
+// a ones.Session from the request body, runs it on its own goroutine
+// under a per-run context, and exposes the run's lifecycle over JSON:
+// poll it, stream its progress events as NDJSON, cancel it (the context
+// aborts the simulation mid-cell), list the registries.
+//
+// The package is plain net/http + encoding/json — no dependencies — and
+// is exercised end-to-end (with -race) by serve_test.go.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/pkg/ones"
+)
+
+// ErrShuttingDown rejects new runs once Shutdown has begun.
+var ErrShuttingDown = errors.New("server is shutting down")
+
+// RunSpec is the POST /v1/runs request body. Zero fields keep the SDK
+// defaults (scheduler "ones", scenario "steady", the 16×4 Longhorn
+// topology, seed 1). Quick shrinks the workload to smoke-test scale
+// before the other fields apply.
+type RunSpec struct {
+	Scheduler     string  `json:"scheduler,omitempty"`
+	Scenario      string  `json:"scenario,omitempty"`
+	Servers       int     `json:"servers,omitempty"`
+	GPUsPerServer int     `json:"gpus_per_server,omitempty"`
+	Seed          int64   `json:"seed,omitempty"`
+	Jobs          int     `json:"jobs,omitempty"`
+	Interarrival  float64 `json:"interarrival_s,omitempty"`
+	MaxGPUs       int     `json:"max_gpus,omitempty"`
+	Population    int     `json:"population,omitempty"`
+	MutationRate  float64 `json:"mutation_rate,omitempty"`
+	RecordEvents  bool    `json:"record_events,omitempty"`
+	Quick         bool    `json:"quick,omitempty"`
+}
+
+// options maps the spec onto SDK options (validated by ones.New).
+func (sp RunSpec) options(obs ones.Observer, cache *ones.Cache) []ones.Option {
+	var opts []ones.Option
+	if sp.Quick {
+		opts = append(opts, ones.WithQuickScale())
+	}
+	if sp.Scheduler != "" {
+		opts = append(opts, ones.WithScheduler(sp.Scheduler))
+	}
+	if sp.Scenario != "" {
+		opts = append(opts, ones.WithScenario(sp.Scenario))
+	}
+	if sp.Servers != 0 || sp.GPUsPerServer != 0 {
+		servers, per := sp.Servers, sp.GPUsPerServer
+		if servers == 0 {
+			servers = 16
+		}
+		if per == 0 {
+			per = 4
+		}
+		opts = append(opts, ones.WithTopology(servers, per))
+	}
+	if sp.Jobs != 0 || sp.Interarrival != 0 || sp.MaxGPUs != 0 || sp.Seed != 0 {
+		opts = append(opts, ones.WithTrace(ones.Trace{
+			Jobs:             sp.Jobs,
+			MeanInterarrival: sp.Interarrival,
+			MaxGPUs:          sp.MaxGPUs,
+			Seed:             sp.Seed,
+		}))
+	}
+	if sp.Seed != 0 {
+		opts = append(opts, ones.WithSeed(sp.Seed))
+	}
+	if sp.Population != 0 {
+		opts = append(opts, ones.WithPopulation(sp.Population))
+	}
+	if sp.MutationRate != 0 {
+		opts = append(opts, ones.WithMutationRate(sp.MutationRate))
+	}
+	if sp.RecordEvents {
+		opts = append(opts, ones.WithEventLog(true))
+	}
+	if cache != nil {
+		opts = append(opts, ones.WithCache(cache))
+	}
+	if obs != nil {
+		opts = append(opts, ones.WithObserver(obs))
+	}
+	return opts
+}
+
+// Run statuses, in lifecycle order.
+const (
+	StatusRunning   = "running"
+	StatusDone      = "done"
+	StatusFailed    = "failed"
+	StatusCancelled = "cancelled"
+)
+
+// run is one client-submitted simulation: a session executing on its own
+// goroutine, an append-only progress log, and a condition variable that
+// wakes pollers and streamers as events arrive. Subscribers read the log
+// by index (replay + follow), so late subscribers see the full history
+// and the engine never blocks on a slow client.
+type run struct {
+	ID      string
+	Spec    RunSpec
+	Created time.Time
+	cancel  context.CancelFunc
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	events   []ones.Progress
+	status   string
+	result   *ones.Result
+	errMsg   string
+	finished bool
+}
+
+func newRun(id string, spec RunSpec, cancel context.CancelFunc) *run {
+	r := &run{
+		ID:      id,
+		Spec:    spec,
+		Created: time.Now(),
+		cancel:  cancel,
+		status:  StatusRunning,
+	}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// Observe implements ones.Observer: append and wake followers.
+func (r *run) Observe(p ones.Progress) {
+	r.mu.Lock()
+	r.events = append(r.events, p)
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// finish records the terminal state. wasCancelled separates a client
+// cancellation from a genuine failure.
+func (r *run) finish(res *ones.Result, err error, wasCancelled bool) {
+	r.mu.Lock()
+	switch {
+	case err == nil:
+		r.status = StatusDone
+		r.result = res
+	case wasCancelled:
+		r.status = StatusCancelled
+		r.errMsg = err.Error()
+	default:
+		r.status = StatusFailed
+		r.errMsg = err.Error()
+	}
+	r.finished = true
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// snapshot returns the run's status fields under one lock acquisition.
+func (r *run) snapshot() (status string, res *ones.Result, errMsg string, done, total int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := len(r.events); n > 0 {
+		done, total = r.events[n-1].Done, r.events[n-1].Total
+	}
+	return r.status, r.result, r.errMsg, done, total
+}
+
+// Server owns the run table, the shared cache and the lifecycle context
+// every run inherits. Shutdown cancels that context (aborting every
+// in-flight simulation mid-cell) and drains the run goroutines.
+type Server struct {
+	cache *ones.Cache
+	log   *log.Logger
+
+	base context.Context
+	stop context.CancelFunc
+
+	mu     sync.Mutex
+	runs   map[string]*run
+	order  []string // creation order, for stable listings
+	seq    int
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// New builds a Server over a shared cache (nil ⇒ runs are independent:
+// no cross-run dedup, no persistence) and a logger (nil ⇒ the standard
+// logger).
+func New(cache *ones.Cache, logger *log.Logger) *Server {
+	if logger == nil {
+		logger = log.Default()
+	}
+	base, stop := context.WithCancel(context.Background())
+	return &Server{
+		cache: cache,
+		log:   logger,
+		base:  base,
+		stop:  stop,
+		runs:  make(map[string]*run),
+	}
+}
+
+// Cache returns the shared cache (may be nil).
+func (s *Server) Cache() *ones.Cache { return s.cache }
+
+// start validates the spec, registers a run and launches its goroutine.
+func (s *Server) start(spec RunSpec) (*run, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	s.seq++
+	id := fmt.Sprintf("run-%06d", s.seq)
+	runCtx, cancel := context.WithCancel(s.base)
+	r := newRun(id, spec, cancel)
+	sess, err := ones.New(spec.options(r, s.cache)...)
+	if err != nil {
+		s.seq-- // the id was never exposed
+		s.mu.Unlock()
+		cancel()
+		return nil, err
+	}
+	s.runs[id] = r
+	s.order = append(s.order, id)
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go func() {
+		defer s.wg.Done()
+		defer cancel()
+		res, err := sess.Run(runCtx)
+		r.finish(res, err, runCtx.Err() != nil)
+		if err != nil && runCtx.Err() == nil {
+			s.log.Printf("serve: %s failed: %v", id, err)
+		}
+	}()
+	return r, nil
+}
+
+// get looks up a run by ID.
+func (s *Server) get(id string) (*run, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[id]
+	return r, ok
+}
+
+// list returns the runs in creation order.
+func (s *Server) list() []*run {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*run, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.runs[id])
+	}
+	return out
+}
+
+// Shutdown stops accepting runs, cancels every in-flight run (they abort
+// mid-cell) and waits — up to ctx — for the run goroutines to retire.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.stop()
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: shutdown: %w", ctx.Err())
+	}
+}

@@ -72,6 +72,9 @@ func New(opts ...Option) (*Session, error) {
 		obs:       st.observer,
 		runner:    engine.NewRunner(p),
 	}
+	if st.cache != nil {
+		s.runner.Persist = st.cache.impl
+	}
 	s.params = s.runner.Params()
 	if s.obs != nil {
 		s.runner.OnCellStart = func(cell engine.Cell) {
