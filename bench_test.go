@@ -334,7 +334,7 @@ func runAblation(b *testing.B, mutate func(*schedulers.ONES)) float64 {
 		mutate(o)
 	}
 	cfg := simulator.DefaultConfig(tr)
-	cfg.Topo = cluster.Topology{Servers: 8, GPUsPerServer: 4}
+	cfg.Topo = cluster.Uniform(8, 4)
 	res, err := simulator.Run(cfg, o)
 	if err != nil {
 		b.Fatal(err)

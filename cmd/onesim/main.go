@@ -8,6 +8,7 @@
 //	onesim -sched ones
 //	onesim -sched tiresias -gpus 32 -jobs 60 -interarrival 20
 //	onesim -sched ones -scenario diurnal+spot -pop 16 -verbose
+//	onesim -topology 4x8,2x4 -scenario rack-drain   # mixed fleet, rack failure
 //	onesim -sched ones -json | jq .mean_jct_s
 //	onesim -cache-dir ~/.cache/onesim -sched ones   # rerun is instant
 //
@@ -50,7 +51,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	var (
 		sched        = fs.String("sched", "ones", "scheduler: "+strings.Join(ones.Schedulers(), "|"))
 		scenarioName = fs.String("scenario", "steady", `world model (compose with "+", e.g. "diurnal+spot")`)
-		gpus         = fs.Int("gpus", 64, "cluster capacity in GPUs (4 per server)")
+		gpus         = fs.Int("gpus", 64, "cluster capacity in GPUs (4 per server); ignored with -topology")
+		topology     = fs.String("topology", "", `heterogeneous cluster shape, e.g. "4x8,2x4" (COUNTxGPUS groups, one rack per group)`)
 		jobs         = fs.Int("jobs", 120, "number of jobs in the trace")
 		interarrival = fs.Float64("interarrival", 12, "mean seconds between arrivals")
 		seed         = fs.Int64("seed", 1, "master RNG seed")
@@ -67,10 +69,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	topoOpt := ones.WithTopology((*gpus+3)/4, 4)
+	if *topology != "" {
+		topoOpt = ones.WithShape(*topology)
+	}
 	opts := []ones.Option{
 		ones.WithScheduler(*sched),
 		ones.WithScenario(*scenarioName),
-		ones.WithTopology((*gpus+3)/4, 4),
+		topoOpt,
 		ones.WithTrace(ones.Trace{Jobs: *jobs, MeanInterarrival: *interarrival, Seed: *seed}),
 		ones.WithSeed(*seed),
 		ones.WithPopulation(*pop),
@@ -105,6 +111,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	fmt.Fprintf(stdout, "scheduler   %s\n", res.Scheduler)
 	fmt.Fprintf(stdout, "scenario    %s\n", res.Scenario)
+	if res.Shape != "" {
+		fmt.Fprintf(stdout, "topology    %s (%d GPUs", res.Shape, res.Capacity)
+		for _, rc := range res.Racks {
+			fmt.Fprintf(stdout, "; rack %d: %d×srv/%d GPUs", rc.Rack, rc.Servers, rc.GPUs)
+		}
+		fmt.Fprintf(stdout, ")\n")
+	}
 	fmt.Fprintf(stdout, "jobs        %d (unfinished: %d)\n", len(res.Jobs), res.Unfinished)
 	fmt.Fprintf(stdout, "makespan    %.1f s\n", res.Makespan)
 	fmt.Fprintf(stdout, "avg JCT     %.2f s   (median %.1f, p75 %.1f, max %.1f)\n",
@@ -113,7 +126,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "avg queue   %.2f s\n", res.MeanQueue)
 	fmt.Fprintf(stdout, "reconfigs   %d\n", res.Reconfigs)
 	if res.Evictions > 0 || res.CapacityEvents > 0 {
-		fmt.Fprintf(stdout, "evictions   %d (capacity events: %d)\n", res.Evictions, res.CapacityEvents)
+		fmt.Fprintf(stdout, "evictions   %d (capacity events: %d", res.Evictions, res.CapacityEvents)
+		if res.RackDrainEvictions > 0 {
+			fmt.Fprintf(stdout, "; rack-drain evictions: %d", res.RackDrainEvictions)
+		}
+		fmt.Fprintf(stdout, ")\n")
 	}
 	fmt.Fprintf(stdout, "utilization %.1f%%\n", 100*res.Utilization)
 	if *verbose {

@@ -9,6 +9,7 @@
 //	tracegen -scenario diurnal+spot -summary
 //	tracegen -list-scenarios
 //	tracegen -in trace.json -summary
+//	tracegen -summary -topology 4x8,2x4   # check the trace against a mixed cluster
 package main
 
 import (
@@ -26,6 +27,7 @@ func main() {
 		seed         = flag.Int64("seed", 1, "RNG seed")
 		maxGPUs      = flag.Int("max-gpus", 8, "largest user GPU request")
 		scenarioName = flag.String("scenario", "", "named scenario whose arrival process shapes the trace (see -list-scenarios)")
+		topology     = flag.String("topology", "", `cluster shape to check the trace against in -summary, e.g. "4x8,2x4"`)
 		listScen     = flag.Bool("list-scenarios", false, "list named scenarios and exit")
 		out          = flag.String("o", "", "write the trace as JSON to this file (default: stdout)")
 		in           = flag.String("in", "", "read an existing trace instead of generating")
@@ -71,7 +73,26 @@ func main() {
 		s := trace.Summary()
 		fmt.Printf("jobs            %d\n", s.Jobs)
 		fmt.Printf("makespan        %.1f s (last submission)\n", s.Makespan)
-		fmt.Printf("mean GPU req    %.2f\n", s.MeanGPUReq)
+		fmt.Printf("mean GPU req    %.2f (max %d)\n", s.MeanGPUReq, s.MaxGPUReq)
+		if *topology != "" {
+			sh, err := ones.ParseShape(*topology)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("cluster         %s: %d servers, %d GPUs, %d rack(s)\n",
+				sh.Shape, sh.Servers, sh.TotalGPUs, len(sh.Racks))
+			for _, r := range sh.Racks {
+				fmt.Printf("  rack %-12d %d servers, %d GPUs\n", r.Rack, r.Servers, r.GPUs)
+			}
+			if s.MaxGPUReq > sh.MaxServerGPUs {
+				fmt.Printf("note: largest request (%d GPUs) exceeds the biggest server (%d GPUs); such jobs span machines\n",
+					s.MaxGPUReq, sh.MaxServerGPUs)
+			}
+			if s.MaxGPUReq > sh.TotalGPUs {
+				fmt.Printf("warning: largest request (%d GPUs) exceeds the whole cluster (%d GPUs)\n",
+					s.MaxGPUReq, sh.TotalGPUs)
+			}
+		}
 		fmt.Println("by class:")
 		for class, n := range s.ByClass {
 			fmt.Printf("  %-14s %d\n", class, n)

@@ -13,6 +13,7 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -23,29 +24,279 @@ type JobID int
 const NoJob JobID = -1
 
 // GPUID indexes a GPU within a cluster topology, in [0, TotalGPUs).
+// GPUs are numbered server by server in topology order.
 type GPUID int
 
-// Topology describes the physical shape of the cluster: a number of
-// identical multi-GPU servers. The paper's testbed is 16 servers with
-// 4 V100 GPUs each (64 GPUs total).
+// ServerSpec describes one physical server: how many GPUs it carries and
+// which rack (failure domain) it lives in. A rack drain removes every
+// server sharing a Rack id at once.
+type ServerSpec struct {
+	GPUs int `json:"gpus"`
+	Rack int `json:"rack"`
+}
+
+// Topology describes the physical shape of the cluster as an ordered
+// list of servers, each with its own GPU count and rack. The GPU axis a
+// Schedule is defined over is the concatenation of the servers' GPUs in
+// this order — a ragged axis when the fleet is mixed.
+//
+// Topology values are immutable by convention: constructors and the
+// Schedule mutators always build fresh Servers slices, so copying a
+// Topology (it travels by value through configs and views) never aliases
+// a slice that later changes. Compare with Equal, not ==.
 type Topology struct {
-	Servers       int // number of GPU servers
-	GPUsPerServer int // GPUs on each server
+	Servers []ServerSpec
+}
+
+// Uniform returns the homogeneous topology of the paper's model —
+// servers identical multi-GPU machines of gpusPerServer GPUs, all in
+// rack 0 (one failure domain, as on a single-rack testbed).
+func Uniform(servers, gpusPerServer int) Topology {
+	specs := make([]ServerSpec, servers)
+	for i := range specs {
+		specs[i] = ServerSpec{GPUs: gpusPerServer}
+	}
+	return Topology{Servers: specs}
 }
 
 // Longhorn returns the paper's evaluation topology: 16 servers × 4 GPUs.
-func Longhorn() Topology { return Topology{Servers: 16, GPUsPerServer: 4} }
+func Longhorn() Topology { return Uniform(16, 4) }
+
+// ParseShape parses a cluster shape like "4x8,2x4": comma-separated
+// COUNTxGPUS groups, where group i's servers all land in rack i. A
+// single group ("16x4") therefore describes a homogeneous single-rack
+// cluster identical to Uniform(16, 4). Group order is significant — it
+// fixes the GPU axis and the rack ids — so "4x8,2x4" and "2x4,4x8" are
+// distinct topologies.
+func ParseShape(shape string) (Topology, error) {
+	var specs []ServerSpec
+	for rack, group := range strings.Split(shape, ",") {
+		var count, gpus int
+		g := strings.TrimSpace(group)
+		if n, err := fmt.Sscanf(g, "%dx%d", &count, &gpus); n != 2 || err != nil ||
+			g != fmt.Sprintf("%dx%d", count, gpus) {
+			return Topology{}, fmt.Errorf("cluster: bad shape group %q in %q (want COUNTxGPUS, e.g. 4x8)", group, shape)
+		}
+		if count <= 0 || gpus <= 0 {
+			return Topology{}, fmt.Errorf("cluster: bad shape group %q in %q: counts must be positive", group, shape)
+		}
+		for i := 0; i < count; i++ {
+			specs = append(specs, ServerSpec{GPUs: gpus, Rack: rack})
+		}
+	}
+	if len(specs) == 0 {
+		return Topology{}, fmt.Errorf("cluster: empty shape %q", shape)
+	}
+	return Topology{Servers: specs}, nil
+}
+
+// Shape renders the topology in ParseShape syntax, one COUNTxGPUS group
+// per run of consecutive servers sharing a GPU count and rack
+// ("16x4", "4x8,2x4"). ParseShape(t.Shape()) reproduces t up to rack
+// renumbering; for ParseShape-built topologies it is the identity.
+func (t Topology) Shape() string {
+	var b strings.Builder
+	for i := 0; i < len(t.Servers); {
+		j := i
+		for j < len(t.Servers) && t.Servers[j] == t.Servers[i] {
+			j++
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%dx%d", j-i, t.Servers[i].GPUs)
+		i = j
+	}
+	return b.String()
+}
+
+// String renders the topology as its shape.
+func (t Topology) String() string { return t.Shape() }
+
+// NumServers returns the number of servers.
+func (t Topology) NumServers() int { return len(t.Servers) }
 
 // TotalGPUs returns the number of GPUs in the cluster.
-func (t Topology) TotalGPUs() int { return t.Servers * t.GPUsPerServer }
+func (t Topology) TotalGPUs() int {
+	var n int
+	for _, s := range t.Servers {
+		n += s.GPUs
+	}
+	return n
+}
 
 // ServerOf returns the server index hosting GPU g.
-func (t Topology) ServerOf(g GPUID) int { return int(g) / t.GPUsPerServer }
+func (t Topology) ServerOf(g GPUID) int {
+	rem := int(g)
+	for i, s := range t.Servers {
+		if rem < s.GPUs {
+			return i
+		}
+		rem -= s.GPUs
+	}
+	return len(t.Servers) - 1
+}
+
+// ServerRange returns the half-open GPU index range [lo, hi) of server
+// idx.
+func (t Topology) ServerRange(idx int) (lo, hi GPUID) {
+	var off int
+	for i := 0; i < idx; i++ {
+		off += t.Servers[i].GPUs
+	}
+	return GPUID(off), GPUID(off + t.Servers[idx].GPUs)
+}
+
+// MaxServerGPUs returns the largest per-server GPU count — the biggest
+// single-server span a job can occupy without crossing machines.
+func (t Topology) MaxServerGPUs() int {
+	var m int
+	for _, s := range t.Servers {
+		if s.GPUs > m {
+			m = s.GPUs
+		}
+	}
+	return m
+}
+
+// MinServersFor returns the fewest servers that can hold c GPUs, packing
+// the largest servers first. On a homogeneous cluster this is
+// ⌈c / gpusPerServer⌉ (computed allocation-free — this sits on scheduler
+// hot paths); mixed fleets pack greedily. Returns at least 1.
+func (t Topology) MinServersFor(c int) int {
+	if per, ok := t.Homogeneous(); ok {
+		n := (c + per - 1) / per
+		if n < 1 {
+			n = 1
+		}
+		if n > len(t.Servers) {
+			n = len(t.Servers)
+		}
+		return n
+	}
+	sizes := make([]int, 0, len(t.Servers))
+	for _, s := range t.Servers {
+		sizes = append(sizes, s.GPUs)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	n := 0
+	for _, sz := range sizes {
+		if c <= 0 {
+			break
+		}
+		c -= sz
+		n++
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Homogeneous reports whether every server carries the same GPU count,
+// returning that count when so.
+func (t Topology) Homogeneous() (gpusPerServer int, ok bool) {
+	if len(t.Servers) == 0 {
+		return 0, false
+	}
+	per := t.Servers[0].GPUs
+	for _, s := range t.Servers[1:] {
+		if s.GPUs != per {
+			return 0, false
+		}
+	}
+	return per, true
+}
+
+// Equal reports whether two topologies list identical servers (GPU
+// counts and racks) in identical order. Topology carries a slice, so ==
+// does not compile; Equal is the comparison.
+func (t Topology) Equal(o Topology) bool {
+	if len(t.Servers) != len(o.Servers) {
+		return false
+	}
+	for i := range t.Servers {
+		if t.Servers[i] != o.Servers[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Racks returns the distinct rack ids present, ascending.
+func (t Topology) Racks() []int {
+	seen := make(map[int]bool)
+	var racks []int
+	for _, s := range t.Servers {
+		if !seen[s.Rack] {
+			seen[s.Rack] = true
+			racks = append(racks, s.Rack)
+		}
+	}
+	sort.Ints(racks)
+	return racks
+}
+
+// RackServers returns the server indices in rack, ascending.
+func (t Topology) RackServers(rack int) []int {
+	var idxs []int
+	for i, s := range t.Servers {
+		if s.Rack == rack {
+			idxs = append(idxs, i)
+		}
+	}
+	return idxs
+}
+
+// RackCapacity summarizes one rack's share of the cluster.
+type RackCapacity struct {
+	Rack    int `json:"rack"`
+	Servers int `json:"servers"`
+	GPUs    int `json:"gpus"`
+}
+
+// RackSummary returns per-rack capacity, ascending by rack id.
+func (t Topology) RackSummary() []RackCapacity {
+	out := make([]RackCapacity, 0, 1)
+	for _, rack := range t.Racks() {
+		rc := RackCapacity{Rack: rack}
+		for _, s := range t.Servers {
+			if s.Rack == rack {
+				rc.Servers++
+				rc.GPUs += s.GPUs
+			}
+		}
+		out = append(out, rc)
+	}
+	return out
+}
+
+// NextRack returns the rack id a fresh scale-up batch lands in: one past
+// the largest rack id present (0 for an empty topology). New capacity is
+// new hardware, physically elsewhere — it must not silently join an
+// existing failure domain.
+func (t Topology) NextRack() int {
+	m := -1
+	for _, s := range t.Servers {
+		if s.Rack > m {
+			m = s.Rack
+		}
+	}
+	return m + 1
+}
 
 // Validate reports whether the topology is well formed.
 func (t Topology) Validate() error {
-	if t.Servers <= 0 || t.GPUsPerServer <= 0 {
-		return fmt.Errorf("cluster: invalid topology %+v", t)
+	if len(t.Servers) == 0 {
+		return fmt.Errorf("cluster: topology has no servers")
+	}
+	for i, s := range t.Servers {
+		if s.GPUs <= 0 {
+			return fmt.Errorf("cluster: server %d has %d GPUs", i, s.GPUs)
+		}
+		if s.Rack < 0 {
+			return fmt.Errorf("cluster: server %d has negative rack %d", i, s.Rack)
+		}
 	}
 	return nil
 }
@@ -120,7 +371,7 @@ func (s *Schedule) CopyFrom(o *Schedule) {
 // Equal reports whether two schedules assign identical slots over the same
 // topology.
 func (s *Schedule) Equal(o *Schedule) bool {
-	if s.topo != o.topo || len(s.slots) != len(o.slots) {
+	if !s.topo.Equal(o.topo) || len(s.slots) != len(o.slots) {
 		return false
 	}
 	for i := range s.slots {
@@ -213,14 +464,38 @@ func (s *Schedule) NumIdle() int {
 
 // AddServers grows the topology by n idle servers appended at the tail —
 // elastic scale-up, a repaired node rejoining, spot capacity restocked.
-// Existing assignments are untouched.
+// The new servers match the first server's GPU count and open a fresh
+// rack (they are new capacity, physically elsewhere). Existing
+// assignments are untouched. For explicit shapes use AddServerSpecs.
 func (s *Schedule) AddServers(n int) {
 	if n <= 0 {
 		return
 	}
-	s.topo.Servers += n
-	for i := 0; i < n*s.topo.GPUsPerServer; i++ {
-		s.slots = append(s.slots, Slot{Job: NoJob})
+	spec := ServerSpec{GPUs: s.topo.Servers[0].GPUs, Rack: s.topo.NextRack()}
+	specs := make([]ServerSpec, n)
+	for i := range specs {
+		specs[i] = spec
+	}
+	s.AddServerSpecs(specs...)
+}
+
+// AddServerSpecs appends idle servers with the given shapes and racks at
+// the tail of the GPU axis — mixed-fleet scale-up, or a drained rack's
+// exact servers restocked. Existing assignments are untouched.
+func (s *Schedule) AddServerSpecs(specs ...ServerSpec) {
+	if len(specs) == 0 {
+		return
+	}
+	// Rebuild rather than append in place: Topology values are shared
+	// across Schedule copies, so the backing array must never mutate.
+	next := make([]ServerSpec, 0, len(s.topo.Servers)+len(specs))
+	next = append(next, s.topo.Servers...)
+	next = append(next, specs...)
+	s.topo = Topology{Servers: next}
+	for _, sp := range specs {
+		for i := 0; i < sp.GPUs; i++ {
+			s.slots = append(s.slots, Slot{Job: NoJob})
+		}
 	}
 }
 
@@ -231,11 +506,10 @@ func (s *Schedule) AddServers(n int) {
 // eviction, since losing any worker stops a gang). Jobs entirely on other
 // servers keep their GPU counts, batch totals and server spans.
 func (s *Schedule) RemoveServer(idx int) []JobID {
-	if idx < 0 || idx >= s.topo.Servers || s.topo.Servers <= 1 {
+	if idx < 0 || idx >= len(s.topo.Servers) || len(s.topo.Servers) <= 1 {
 		return nil
 	}
-	gps := s.topo.GPUsPerServer
-	lo, hi := idx*gps, (idx+1)*gps
+	lo, hi := s.topo.ServerRange(idx)
 	seen := make(map[JobID]bool)
 	var victims []JobID
 	for _, sl := range s.slots[lo:hi] {
@@ -245,7 +519,10 @@ func (s *Schedule) RemoveServer(idx int) []JobID {
 		}
 	}
 	s.slots = append(s.slots[:lo], s.slots[hi:]...)
-	s.topo.Servers--
+	next := make([]ServerSpec, 0, len(s.topo.Servers)-1)
+	next = append(next, s.topo.Servers[:idx]...)
+	next = append(next, s.topo.Servers[idx+1:]...)
+	s.topo = Topology{Servers: next}
 	return victims
 }
 
@@ -307,13 +584,17 @@ func (s *Schedule) Fragments(j JobID) int {
 // spanning more servers pay higher communication cost in the performance
 // model.
 func (s *Schedule) ServersOf(j JobID) int {
-	seen := make(map[int]bool)
-	for i, sl := range s.slots {
-		if sl.Job == j {
-			seen[s.topo.ServerOf(GPUID(i))] = true
+	n, idx := 0, 0
+	for _, spec := range s.topo.Servers {
+		for k := 0; k < spec.GPUs; k++ {
+			if s.slots[idx+k].Job == j {
+				n++
+				break
+			}
 		}
+		idx += spec.GPUs
 	}
-	return len(seen)
+	return n
 }
 
 // Reorder packs the workers of each job contiguously, in order of each
@@ -344,16 +625,17 @@ func (s *Schedule) Reorder() {
 // each GPU shown as "job:batch" or "-" when idle.
 func (s *Schedule) String() string {
 	var b strings.Builder
-	for srv := 0; srv < s.topo.Servers; srv++ {
+	idx := 0
+	for srv, spec := range s.topo.Servers {
 		if srv > 0 {
 			b.WriteByte(' ')
 		}
 		b.WriteByte('[')
-		for k := 0; k < s.topo.GPUsPerServer; k++ {
+		for k := 0; k < spec.GPUs; k++ {
 			if k > 0 {
 				b.WriteByte(' ')
 			}
-			sl := s.slots[srv*s.topo.GPUsPerServer+k]
+			sl := s.slots[idx+k]
 			if sl.Idle() {
 				b.WriteByte('-')
 			} else {
@@ -361,6 +643,7 @@ func (s *Schedule) String() string {
 			}
 		}
 		b.WriteByte(']')
+		idx += spec.GPUs
 	}
 	return b.String()
 }

@@ -23,13 +23,13 @@ func TestTopologyBasics(t *testing.T) {
 	if err := topo.Validate(); err != nil {
 		t.Errorf("Validate: %v", err)
 	}
-	if err := (Topology{Servers: 0, GPUsPerServer: 4}).Validate(); err == nil {
+	if err := (Uniform(0, 4)).Validate(); err == nil {
 		t.Error("expected error for zero servers")
 	}
 }
 
 func TestNewScheduleAllIdle(t *testing.T) {
-	s := NewSchedule(Topology{Servers: 2, GPUsPerServer: 2})
+	s := NewSchedule(Uniform(2, 2))
 	if s.NumIdle() != 4 {
 		t.Fatalf("NumIdle = %d, want 4", s.NumIdle())
 	}
@@ -42,7 +42,7 @@ func TestNewScheduleAllIdle(t *testing.T) {
 }
 
 func TestSetSlotAndDerivedQuantities(t *testing.T) {
-	s := NewSchedule(Topology{Servers: 2, GPUsPerServer: 4})
+	s := NewSchedule(Uniform(2, 4))
 	s.SetSlot(0, 1, 128)
 	s.SetSlot(1, 1, 128)
 	s.SetSlot(2, 2, 64)
@@ -73,7 +73,7 @@ func TestSetSlotAndDerivedQuantities(t *testing.T) {
 }
 
 func TestSetSlotClearsOnNoJobOrZeroBatch(t *testing.T) {
-	s := NewSchedule(Topology{Servers: 1, GPUsPerServer: 2})
+	s := NewSchedule(Uniform(1, 2))
 	s.SetSlot(0, 3, 32)
 	s.SetSlot(0, NoJob, 10)
 	if !s.Slot(0).Idle() {
@@ -89,7 +89,7 @@ func TestSetSlotClearsOnNoJobOrZeroBatch(t *testing.T) {
 }
 
 func TestRunningJobsOrderOfFirstAppearance(t *testing.T) {
-	s := NewSchedule(Topology{Servers: 1, GPUsPerServer: 6})
+	s := NewSchedule(Uniform(1, 6))
 	s.SetSlot(0, 7, 1)
 	s.SetSlot(1, 3, 1)
 	s.SetSlot(2, 7, 1)
@@ -107,7 +107,7 @@ func TestRunningJobsOrderOfFirstAppearance(t *testing.T) {
 }
 
 func TestEvict(t *testing.T) {
-	s := NewSchedule(Topology{Servers: 1, GPUsPerServer: 4})
+	s := NewSchedule(Uniform(1, 4))
 	s.SetSlot(0, 1, 8)
 	s.SetSlot(1, 1, 8)
 	s.SetSlot(2, 2, 8)
@@ -126,11 +126,19 @@ func TestEvict(t *testing.T) {
 }
 
 func TestAddServersAppendsIdleCapacity(t *testing.T) {
-	s := NewSchedule(Topology{Servers: 2, GPUsPerServer: 4})
+	s := NewSchedule(Uniform(2, 4))
 	s.SetSlot(0, 1, 8)
 	s.AddServers(2)
-	if got := s.Topology(); got != (Topology{Servers: 4, GPUsPerServer: 4}) {
+	got := s.Topology()
+	if got.NumServers() != 4 || got.TotalGPUs() != 16 {
 		t.Fatalf("topology after AddServers(2) = %+v", got)
+	}
+	// Joined servers match the first server's GPU count and open a fresh
+	// rack — new capacity is a new failure domain.
+	for _, idx := range []int{2, 3} {
+		if got.Servers[idx] != (ServerSpec{GPUs: 4, Rack: 1}) {
+			t.Errorf("joined server %d = %+v, want 4 GPUs in rack 1", idx, got.Servers[idx])
+		}
 	}
 	if s.NumGPUs() != 16 || s.NumIdle() != 15 {
 		t.Errorf("GPUs %d idle %d, want 16/15", s.NumGPUs(), s.NumIdle())
@@ -143,13 +151,13 @@ func TestAddServersAppendsIdleCapacity(t *testing.T) {
 	}
 	s.AddServers(0)
 	s.AddServers(-3)
-	if s.Topology().Servers != 4 {
+	if s.Topology().NumServers() != 4 {
 		t.Error("non-positive AddServers changed the topology")
 	}
 }
 
 func TestRemoveServerEvictsOnlyItsJobsAndShifts(t *testing.T) {
-	s := NewSchedule(Topology{Servers: 3, GPUsPerServer: 2})
+	s := NewSchedule(Uniform(3, 2))
 	s.SetSlot(0, 1, 8) // job 1 entirely on server 0
 	s.SetSlot(1, 1, 8)
 	s.SetSlot(2, 2, 4) // job 2 spans servers 1 and 2
@@ -160,7 +168,7 @@ func TestRemoveServerEvictsOnlyItsJobsAndShifts(t *testing.T) {
 	if len(victims) != 1 || victims[0] != 2 {
 		t.Fatalf("RemoveServer(1) victims = %v, want [2]", victims)
 	}
-	if got := s.Topology(); got != (Topology{Servers: 2, GPUsPerServer: 2}) {
+	if got := s.Topology(); !got.Equal(Uniform(2, 2)) {
 		t.Fatalf("topology = %+v", got)
 	}
 	// Job 1 untouched; job 3 shifted down one server but intact; job 2
@@ -180,7 +188,7 @@ func TestRemoveServerEvictsOnlyItsJobsAndShifts(t *testing.T) {
 }
 
 func TestRemoveServerBounds(t *testing.T) {
-	s := NewSchedule(Topology{Servers: 2, GPUsPerServer: 2})
+	s := NewSchedule(Uniform(2, 2))
 	if v := s.RemoveServer(-1); v != nil {
 		t.Errorf("RemoveServer(-1) = %v", v)
 	}
@@ -188,13 +196,13 @@ func TestRemoveServerBounds(t *testing.T) {
 		t.Errorf("RemoveServer(out of range) = %v", v)
 	}
 	s.RemoveServer(0)
-	if v := s.RemoveServer(0); v != nil || s.Topology().Servers != 1 {
+	if v := s.RemoveServer(0); v != nil || s.Topology().NumServers() != 1 {
 		t.Error("the last server must never be removable")
 	}
 }
 
 func TestCloneIsDeep(t *testing.T) {
-	s := NewSchedule(Topology{Servers: 1, GPUsPerServer: 2})
+	s := NewSchedule(Uniform(1, 2))
 	s.SetSlot(0, 1, 8)
 	c := s.Clone()
 	c.SetSlot(0, 2, 16)
@@ -207,8 +215,8 @@ func TestCloneIsDeep(t *testing.T) {
 }
 
 func TestEqual(t *testing.T) {
-	a := NewSchedule(Topology{Servers: 1, GPUsPerServer: 2})
-	b := NewSchedule(Topology{Servers: 1, GPUsPerServer: 2})
+	a := NewSchedule(Uniform(1, 2))
+	b := NewSchedule(Uniform(1, 2))
 	if !a.Equal(b) {
 		t.Error("two empty schedules should be equal")
 	}
@@ -216,14 +224,14 @@ func TestEqual(t *testing.T) {
 	if a.Equal(b) {
 		t.Error("different schedules reported equal")
 	}
-	c := NewSchedule(Topology{Servers: 2, GPUsPerServer: 1})
+	c := NewSchedule(Uniform(2, 1))
 	if a.Equal(c) {
 		t.Error("different topologies reported equal")
 	}
 }
 
 func TestFragmentsAndServers(t *testing.T) {
-	s := NewSchedule(Topology{Servers: 2, GPUsPerServer: 4})
+	s := NewSchedule(Uniform(2, 4))
 	// Job 1 on GPUs 0,1 (one fragment, one server).
 	s.SetSlot(0, 1, 1)
 	s.SetSlot(1, 1, 1)
@@ -246,7 +254,7 @@ func TestFragmentsAndServers(t *testing.T) {
 
 func TestReorderPacksByFirstOccurrence(t *testing.T) {
 	// Mirrors Figure 10: [3 1 2 2 2 1] reorders to [3 1 1 2 2 2].
-	s := NewSchedule(Topology{Servers: 1, GPUsPerServer: 6})
+	s := NewSchedule(Uniform(1, 6))
 	vals := []struct {
 		j JobID
 		b int
@@ -270,7 +278,7 @@ func TestReorderPacksByFirstOccurrence(t *testing.T) {
 
 // randomSchedule builds a valid random schedule for property tests.
 func randomSchedule(rng *rand.Rand) *Schedule {
-	topo := Topology{Servers: 1 + rng.Intn(4), GPUsPerServer: 1 + rng.Intn(6)}
+	topo := Uniform(1+rng.Intn(4), 1+rng.Intn(6))
 	s := NewSchedule(topo)
 	for g := 0; g < s.NumGPUs(); g++ {
 		if rng.Float64() < 0.3 {
@@ -338,7 +346,7 @@ func TestGlobalBatchEqualsSumOfSlotsProperty(t *testing.T) {
 }
 
 func TestStringRendering(t *testing.T) {
-	s := NewSchedule(Topology{Servers: 2, GPUsPerServer: 2})
+	s := NewSchedule(Uniform(2, 2))
 	s.SetSlot(0, 1, 32)
 	got := s.String()
 	want := "[1:32 -] [- -]"
@@ -348,7 +356,7 @@ func TestStringRendering(t *testing.T) {
 }
 
 func TestAllocations(t *testing.T) {
-	s := NewSchedule(Topology{Servers: 2, GPUsPerServer: 2})
+	s := NewSchedule(Uniform(2, 2))
 	s.SetSlot(0, 5, 16)
 	s.SetSlot(1, 5, 16)
 	s.SetSlot(2, 9, 64)
@@ -365,12 +373,12 @@ func TestAllocations(t *testing.T) {
 }
 
 func TestValidateCatchesCorruption(t *testing.T) {
-	s := NewSchedule(Topology{Servers: 1, GPUsPerServer: 2})
+	s := NewSchedule(Uniform(1, 2))
 	s.slots[0] = Slot{Job: 1, Batch: 0} // corrupt directly
 	if err := s.Validate(); err == nil {
 		t.Error("Validate missed assigned slot with zero batch")
 	}
-	s2 := NewSchedule(Topology{Servers: 1, GPUsPerServer: 2})
+	s2 := NewSchedule(Uniform(1, 2))
 	s2.slots[1] = Slot{Job: NoJob, Batch: 5}
 	if err := s2.Validate(); err == nil {
 		t.Error("Validate missed idle slot with nonzero batch")

@@ -77,8 +77,12 @@ func (c RunConfig) options(recordEvents bool) []ones.Option {
 		}),
 		ones.WithEventLog(recordEvents),
 	}
-	if c.Topo != (cluster.Topology{}) {
-		opts = append(opts, ones.WithTopology(c.Topo.Servers, c.Topo.GPUsPerServer))
+	if c.Topo.NumServers() > 0 {
+		if per, ok := c.Topo.Homogeneous(); ok {
+			opts = append(opts, ones.WithTopology(c.Topo.NumServers(), per))
+		} else {
+			opts = append(opts, ones.WithShape(c.Topo.Shape()))
+		}
 	}
 	if c.Seed != 0 {
 		opts = append(opts, ones.WithSeed(c.Seed))

@@ -10,7 +10,7 @@ import (
 func quickRunConfig(kind SchedulerKind) RunConfig {
 	return RunConfig{
 		Scheduler:  kind,
-		Topo:       cluster.Topology{Servers: 4, GPUsPerServer: 4},
+		Topo:       cluster.Uniform(4, 4),
 		Trace:      workload.Config{Seed: 2, NumJobs: 10, MeanInterarrival: 25, MaxReqGPUs: 4},
 		Seed:       3,
 		Population: 8,

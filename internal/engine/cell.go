@@ -9,21 +9,31 @@ import (
 )
 
 // Cell is the unit of simulation work and the shared-cache key: one
-// scheduler replaying one trace on one cluster capacity under one
+// scheduler replaying one trace on one cluster topology under one
 // scenario (how the world changes during the run).
 type Cell struct {
 	Scheduler string // schedulers registry name ("ones", "drl", …)
 	Capacity  int    // initial total GPUs (0 ⇒ the paper's 64-GPU Longhorn testbed)
 	TraceSeed int64  // workload trace seed (0 ⇒ the master seed)
 	Scenario  string // scenario registry name ("" ⇒ "steady")
-	// GPUsPer is the per-server GPU count shaping the topology (0 ⇒ 4,
-	// the paper's Longhorn servers). Capacity is rounded up to whole
-	// servers.
+	// GPUsPer is the per-server GPU count shaping a homogeneous topology
+	// (0 ⇒ 4, the paper's Longhorn servers). Capacity is rounded up to
+	// whole servers. Ignored when Shape is set.
 	GPUsPer int
+	// Shape, when non-empty, is a heterogeneous cluster shape in
+	// cluster.ParseShape syntax ("4x8,2x4": per-server GPU counts, one
+	// rack per comma group). It overrides Capacity/GPUsPer; the shape
+	// string is taken verbatim as a cache-key dimension, so "4x8,2x4"
+	// and "2x4,4x8" are distinct cells — deliberately, since group order
+	// fixes the GPU axis and the rack ids and therefore the results.
+	Shape string
 }
 
 // String renders the cell for progress and error reporting.
 func (c Cell) String() string {
+	if c.Shape != "" {
+		return fmt.Sprintf("%s/%s/trace%d/%s", c.Scheduler, c.Shape, c.TraceSeed, c.Scenario)
+	}
 	if c.GPUsPer != 0 && c.GPUsPer != 4 {
 		return fmt.Sprintf("%s/%dgpu(%dper)/trace%d/%s", c.Scheduler, c.Capacity, c.GPUsPer, c.TraceSeed, c.Scenario)
 	}
@@ -32,8 +42,25 @@ func (c Cell) String() string {
 
 // normalize resolves the cell's zero-value defaults against the params.
 func (c Cell) normalize(p Params) Cell {
-	if c.Capacity <= 0 {
-		c.Capacity = cluster.Longhorn().TotalGPUs()
+	if c.Shape != "" {
+		// A shaped cell carries its size in the shape itself; Capacity is
+		// derived for reporting and GPUsPer stays out of the key space.
+		// The shape string is re-rendered canonically ("4x8, 2x4" ⇒
+		// "4x8,2x4") so spelling variants of one topology share a cell,
+		// a cache key and a seed; group ORDER is preserved — orderings
+		// are distinct topologies, deliberately keyed apart.
+		if topo, err := cluster.ParseShape(c.Shape); err == nil {
+			c.Capacity = topo.TotalGPUs()
+			c.Shape = topo.Shape()
+		}
+		c.GPUsPer = 0
+	} else {
+		if c.Capacity <= 0 {
+			c.Capacity = cluster.Longhorn().TotalGPUs()
+		}
+		if c.GPUsPer <= 0 {
+			c.GPUsPer = 4
+		}
 	}
 	if c.TraceSeed == 0 {
 		c.TraceSeed = p.Seed
@@ -41,21 +68,23 @@ func (c Cell) normalize(p Params) Cell {
 	if c.Scenario == "" {
 		c.Scenario = scenario.Steady
 	}
-	if c.GPUsPer <= 0 {
-		c.GPUsPer = 4
-	}
 	return c
 }
 
-// Topology maps a capacity to the cluster shape: GPUsPer-GPU servers
-// (default 4, as on the paper's Longhorn testbed — capacity 64 ⇒ exactly
-// cluster.Longhorn()).
-func (c Cell) Topology() cluster.Topology {
+// Topology maps the cell to its cluster shape. With Shape set, the shape
+// string is parsed (an invalid shape errors here, surfacing on the first
+// run of the cell); otherwise Capacity is cut into homogeneous GPUsPer-GPU
+// servers (default 4, as on the paper's Longhorn testbed — capacity 64 ⇒
+// exactly cluster.Longhorn()).
+func (c Cell) Topology() (cluster.Topology, error) {
+	if c.Shape != "" {
+		return cluster.ParseShape(c.Shape)
+	}
 	per := c.GPUsPer
 	if per <= 0 {
 		per = 4
 	}
-	return cluster.Topology{Servers: (c.Capacity + per - 1) / per, GPUsPerServer: per}
+	return cluster.Uniform((c.Capacity+per-1)/per, per), nil
 }
 
 // deriveSeed turns a salted cell key into an RNG seed. The derivation
@@ -80,8 +109,13 @@ func deriveSeed(master int64, key string) int64 {
 
 // topoKey renders the topology part of a seed-derivation key. The 4-GPU
 // default deliberately contributes only the capacity, so seeds derived
-// before the GPUsPer dimension existed are unchanged.
+// before the GPUsPer dimension existed are unchanged; a heterogeneous
+// shape contributes its verbatim shape string, a namespace no
+// homogeneous cell can collide with.
 func (c Cell) topoKey() string {
+	if c.Shape != "" {
+		return c.Shape
+	}
 	if c.GPUsPer != 0 && c.GPUsPer != 4 {
 		return fmt.Sprintf("%d/%d", c.Capacity, c.GPUsPer)
 	}
@@ -108,13 +142,20 @@ func (c Cell) scenarioSeed(master int64) int64 {
 // defaulted and an explicit spelling of the same cell share one entry.
 // Parameters that only affect throughput (Workers) or experiment
 // rendering (Capacities, ParamScale, CFPoints) are deliberately absent.
-// The result-format version lives in the cache layer (servecache), not
-// here, so a format bump invalidates files without renaming keys.
+// A heterogeneous shape appends a |shape= dimension; homogeneous cells
+// keep the exact key they had before shapes existed, so a cache
+// populated by an earlier build keeps serving them. The result-format
+// version lives in the cache layer (servecache), not here, so a format
+// bump invalidates files without renaming keys.
 func CellKey(p Params, c Cell) string {
 	c = c.normalize(p)
-	return fmt.Sprintf("cell|seed=%d|jobs=%d|ia=%g|maxgpus=%d|pop=%d|theta=%g|events=%t|sched=%s|cap=%d|per=%d|trace=%d|scn=%s",
+	key := fmt.Sprintf("cell|seed=%d|jobs=%d|ia=%g|maxgpus=%d|pop=%d|theta=%g|events=%t|sched=%s|cap=%d|per=%d|trace=%d|scn=%s",
 		p.Seed, p.Jobs, p.Interarrival, p.MaxGPUs, p.Population, p.MutationRate, p.RecordEvents,
 		c.Scheduler, c.Capacity, c.GPUsPer, c.TraceSeed, c.Scenario)
+	if c.Shape != "" {
+		key += "|shape=" + c.Shape
+	}
+	return key
 }
 
 // ComparisonCells returns one cell per scheduler at the given capacity,
@@ -134,6 +175,22 @@ func SweepCells(scheds []string, capacities []int) []Cell {
 	for _, s := range scheds {
 		for _, cap := range capacities {
 			cells = append(cells, Cell{Scheduler: s, Capacity: cap})
+		}
+	}
+	return cells
+}
+
+// ShapeCells returns the shape × scheduler cross product under the given
+// scenario, shape-major (all schedulers on the first shape first — the
+// row order of the hetero sweep). An empty shape string means the
+// default homogeneous 64-GPU Longhorn cluster. All cells share the
+// master trace seed, so every (shape, scheduler) pair replays the
+// identical job stream.
+func ShapeCells(scheds, shapes []string, scenarioName string) []Cell {
+	cells := make([]Cell, 0, len(scheds)*len(shapes))
+	for _, shape := range shapes {
+		for _, s := range scheds {
+			cells = append(cells, Cell{Scheduler: s, Shape: shape, Scenario: scenarioName})
 		}
 	}
 	return cells

@@ -13,12 +13,14 @@ import (
 )
 
 func persistCells() []Cell {
-	// Mix of plain and elastic-scenario cells so the round trip covers
-	// Evictions/CapacityEvents, not just the steady-state fields.
+	// Mix of plain, elastic-scenario and mixed-shape cells so the round
+	// trip covers Evictions/CapacityEvents/RackDrainEvictions, not just
+	// the steady-state fields.
 	return []Cell{
 		{Scheduler: "ones", Capacity: 16},
 		{Scheduler: "fifo", Capacity: 16},
 		{Scheduler: "tiresias", Capacity: 32, Scenario: "node-failure"},
+		{Scheduler: "fifo", Shape: "2x4,1x8", Scenario: "rack-drain"},
 	}
 }
 

@@ -350,8 +350,12 @@ func (r *Runner) simulate(ctx context.Context, c Cell) (*simulator.Result, error
 	if err != nil {
 		return nil, err
 	}
+	topo, err := c.Topology()
+	if err != nil {
+		return nil, err
+	}
 	simCfg := simulator.DefaultConfig(trace)
-	simCfg.Topo = c.Topology()
+	simCfg.Topo = topo
 	simCfg.RecordEvents = r.params.RecordEvents
 	// The capacity timeline is seeded from the cell key minus the
 	// scheduler, so paired comparisons face the identical world.

@@ -303,8 +303,8 @@ func expandOption(s *cluster.Schedule, ctx *Context, info *JobInfo, idle int) *f
 	if maxB := newC * info.MaxPerGPU; newB > maxB {
 		newB = maxB
 	}
-	servers := ctx.Topo.Servers
-	if servers > 1 && newC <= ctx.Topo.GPUsPerServer {
+	servers := ctx.Topo.NumServers()
+	if servers > 1 && newC <= ctx.Topo.MaxServerGPUs() {
 		servers = 1
 	}
 	// Growth utility: absolute throughput gained per added GPU. Growth
@@ -498,7 +498,7 @@ func (e *Engine) Iterate(ctx *Context) *cluster.Schedule {
 	// A topology change (elastic capacity, node failure) invalidates the
 	// whole population: its genomes are defined over the old GPU axis.
 	// Restart the search from fresh genomes on the new topology.
-	if len(e.pop) == 0 || e.pop[0].Topology() != ctx.Topo {
+	if len(e.pop) == 0 || !e.pop[0].Topology().Equal(ctx.Topo) {
 		e.Init(ctx)
 	}
 	// Describe every candidate generation serially (parent choices and a

@@ -61,7 +61,7 @@ func validateLimits(t *testing.T, s *cluster.Schedule, ctx *Context) {
 }
 
 func TestRefreshFillsEmptyCluster(t *testing.T) {
-	topo := cluster.Topology{Servers: 2, GPUsPerServer: 4}
+	topo := cluster.Uniform(2, 4)
 	ctx := testCtx(1, 6, topo)
 	s := Refresh(cluster.NewSchedule(topo), ctx)
 	validateLimits(t, s, ctx)
@@ -74,7 +74,7 @@ func TestRefreshFillsEmptyCluster(t *testing.T) {
 }
 
 func TestRefreshRemovesCompletedJobs(t *testing.T) {
-	topo := cluster.Topology{Servers: 1, GPUsPerServer: 4}
+	topo := cluster.Uniform(1, 4)
 	ctx := testCtx(2, 3, topo)
 	s := cluster.NewSchedule(topo)
 	s.SetSlot(0, 99, 128) // job 99 is not alive
@@ -87,7 +87,7 @@ func TestRefreshRemovesCompletedJobs(t *testing.T) {
 }
 
 func TestRefreshEnforcesLimit(t *testing.T) {
-	topo := cluster.Topology{Servers: 1, GPUsPerServer: 4}
+	topo := cluster.Uniform(1, 4)
 	ctx := testCtx(3, 1, topo)
 	ctx.Jobs[0].Limit = 256
 	s := cluster.NewSchedule(topo)
@@ -103,7 +103,7 @@ func TestRefreshEnforcesLimit(t *testing.T) {
 }
 
 func TestRefreshAllocatesNewJobsOnFullCluster(t *testing.T) {
-	topo := cluster.Topology{Servers: 1, GPUsPerServer: 4}
+	topo := cluster.Uniform(1, 4)
 	ctx := testCtx(4, 5, topo)
 	// Jobs 0..3 fill the cluster; job 4 is brand new.
 	ctx.NewJobs = []cluster.JobID{4}
@@ -121,7 +121,7 @@ func TestRefreshAllocatesNewJobsOnFullCluster(t *testing.T) {
 }
 
 func TestRefreshTakesFromLongestRunningJob(t *testing.T) {
-	topo := cluster.Topology{Servers: 1, GPUsPerServer: 4}
+	topo := cluster.Uniform(1, 4)
 	ctx := testCtx(5, 5, topo)
 	ctx.NewJobs = []cluster.JobID{4}
 	// Job 2 has by far the largest processed time.
@@ -141,7 +141,7 @@ func TestRefreshTakesFromLongestRunningJob(t *testing.T) {
 }
 
 func TestCrossoverIdenticalParentsYieldIdenticalChildren(t *testing.T) {
-	topo := cluster.Topology{Servers: 1, GPUsPerServer: 4}
+	topo := cluster.Uniform(1, 4)
 	ctx := testCtx(6, 4, topo)
 	parent := Refresh(cluster.NewSchedule(topo), ctx)
 	c1, c2 := Crossover(parent, parent, ctx)
@@ -151,7 +151,7 @@ func TestCrossoverIdenticalParentsYieldIdenticalChildren(t *testing.T) {
 }
 
 func TestCrossoverChildrenValid(t *testing.T) {
-	topo := cluster.Topology{Servers: 2, GPUsPerServer: 4}
+	topo := cluster.Uniform(2, 4)
 	ctx := testCtx(7, 6, topo)
 	a := Refresh(cluster.NewSchedule(topo), ctx)
 	b := Refresh(cluster.NewSchedule(topo), ctx)
@@ -161,7 +161,7 @@ func TestCrossoverChildrenValid(t *testing.T) {
 }
 
 func TestMutateThetaOneEvictsAndRefills(t *testing.T) {
-	topo := cluster.Topology{Servers: 1, GPUsPerServer: 4}
+	topo := cluster.Uniform(1, 4)
 	ctx := testCtx(8, 4, topo)
 	s := Refresh(cluster.NewSchedule(topo), ctx)
 	m := Mutate(s, ctx, 1.0)
@@ -172,7 +172,7 @@ func TestMutateThetaOneEvictsAndRefills(t *testing.T) {
 }
 
 func TestMutateThetaZeroKeepsAssignmentsStable(t *testing.T) {
-	topo := cluster.Topology{Servers: 1, GPUsPerServer: 4}
+	topo := cluster.Uniform(1, 4)
 	ctx := testCtx(9, 4, topo)
 	s := Refresh(cluster.NewSchedule(topo), ctx)
 	m := Mutate(s, ctx, 0)
@@ -186,7 +186,7 @@ func TestMutateThetaZeroKeepsAssignmentsStable(t *testing.T) {
 }
 
 func TestScoreEmptyScheduleZero(t *testing.T) {
-	topo := cluster.Topology{Servers: 1, GPUsPerServer: 2}
+	topo := cluster.Uniform(1, 2)
 	ctx := testCtx(10, 2, topo)
 	s := cluster.NewSchedule(topo)
 	if got := Score(s, ctx, SampleRhos(ctx)); got != 0 {
@@ -195,7 +195,7 @@ func TestScoreEmptyScheduleZero(t *testing.T) {
 }
 
 func TestScoreInfiniteOnZeroThroughput(t *testing.T) {
-	topo := cluster.Topology{Servers: 1, GPUsPerServer: 2}
+	topo := cluster.Uniform(1, 2)
 	ctx := testCtx(11, 1, topo)
 	ctx.Throughput = func(cluster.JobID, int, int, int) float64 { return 0 }
 	s := cluster.NewSchedule(topo)
@@ -206,7 +206,7 @@ func TestScoreInfiniteOnZeroThroughput(t *testing.T) {
 }
 
 func TestScorePrefersNearlyDoneJobs(t *testing.T) {
-	topo := cluster.Topology{Servers: 1, GPUsPerServer: 1}
+	topo := cluster.Uniform(1, 1)
 	ctx := testCtx(12, 2, topo)
 	// Job 0 nearly done (ρ≈0.95), job 1 barely started (ρ≈0.05); equal
 	// history otherwise.
@@ -225,7 +225,7 @@ func TestScorePrefersNearlyDoneJobs(t *testing.T) {
 }
 
 func TestSampleRhosInOpenInterval(t *testing.T) {
-	ctx := testCtx(13, 8, cluster.Topology{Servers: 1, GPUsPerServer: 4})
+	ctx := testCtx(13, 8, cluster.Uniform(1, 4))
 	rhos := SampleRhos(ctx)
 	if len(rhos) != 8 {
 		t.Fatalf("got %d draws, want 8", len(rhos))
@@ -238,7 +238,7 @@ func TestSampleRhosInOpenInterval(t *testing.T) {
 }
 
 func TestEngineIterateProducesValidFullSchedule(t *testing.T) {
-	topo := cluster.Topology{Servers: 2, GPUsPerServer: 4}
+	topo := cluster.Uniform(2, 4)
 	ctx := testCtx(14, 10, topo)
 	e := NewEngine(8, 0.2)
 	var best *cluster.Schedule
@@ -256,7 +256,7 @@ func TestEngineIterateProducesValidFullSchedule(t *testing.T) {
 
 func TestEngineDeterministicGivenSeed(t *testing.T) {
 	run := func() string {
-		topo := cluster.Topology{Servers: 2, GPUsPerServer: 2}
+		topo := cluster.Uniform(2, 2)
 		ctx := testCtx(42, 5, topo)
 		e := NewEngine(6, 0.3)
 		var best *cluster.Schedule
@@ -271,7 +271,7 @@ func TestEngineDeterministicGivenSeed(t *testing.T) {
 }
 
 func TestEngineImprovesOverRandomRefresh(t *testing.T) {
-	topo := cluster.Topology{Servers: 4, GPUsPerServer: 4}
+	topo := cluster.Uniform(4, 4)
 	ctx := testCtx(15, 12, topo)
 	meanRhos := make(map[cluster.JobID]float64, len(ctx.Jobs))
 	for id, info := range ctx.Jobs {
@@ -297,7 +297,7 @@ func TestEngineImprovesOverRandomRefresh(t *testing.T) {
 }
 
 func TestEngineBestWithoutIterate(t *testing.T) {
-	topo := cluster.Topology{Servers: 1, GPUsPerServer: 2}
+	topo := cluster.Uniform(1, 2)
 	ctx := testCtx(16, 3, topo)
 	e := NewEngine(4, 0.2)
 	if e.Best(ctx) != nil {
@@ -310,7 +310,7 @@ func TestEngineBestWithoutIterate(t *testing.T) {
 }
 
 func TestEngineAblationSwitches(t *testing.T) {
-	topo := cluster.Topology{Servers: 2, GPUsPerServer: 2}
+	topo := cluster.Uniform(2, 2)
 	ctx := testCtx(17, 5, topo)
 	e := NewEngine(4, 0.2)
 	e.DisableReorder = true
@@ -322,7 +322,7 @@ func TestEngineAblationSwitches(t *testing.T) {
 func TestRefreshInvariantsProperty(t *testing.T) {
 	f := func(seed int64, nJobs uint8) bool {
 		n := int(nJobs)%12 + 1
-		topo := cluster.Topology{Servers: 2, GPUsPerServer: 4}
+		topo := cluster.Uniform(2, 4)
 		ctx := testCtx(seed, n, topo)
 		s := Refresh(cluster.NewSchedule(topo), ctx)
 		if s.Validate() != nil {
@@ -348,7 +348,7 @@ func TestRefreshInvariantsProperty(t *testing.T) {
 
 func TestEngineChampionInvariantsProperty(t *testing.T) {
 	f := func(seed int64) bool {
-		topo := cluster.Topology{Servers: 2, GPUsPerServer: 2}
+		topo := cluster.Uniform(2, 2)
 		ctx := testCtx(seed, 6, topo)
 		e := NewEngine(5, 0.25)
 		best := e.Iterate(ctx)
@@ -369,7 +369,7 @@ func TestEngineChampionInvariantsProperty(t *testing.T) {
 
 func TestEngineParallelMatchesSerial(t *testing.T) {
 	run := func(parallelism int) string {
-		topo := cluster.Topology{Servers: 2, GPUsPerServer: 4}
+		topo := cluster.Uniform(2, 4)
 		ctx := testCtx(77, 8, topo)
 		e := NewEngine(8, 0.2)
 		e.Parallelism = parallelism

@@ -23,4 +23,5 @@ func init() {
 	engine.RegisterExperiment(fig17)
 	engine.RegisterExperiment(fig18)
 	engine.RegisterExperiment(scenarioSweep)
+	engine.RegisterExperiment(hetero)
 }

@@ -55,7 +55,7 @@ func TestByteIdenticalOutputAcrossWorkerCounts(t *testing.T) {
 
 func TestRegistryHasEveryPaperExperiment(t *testing.T) {
 	want := []string{"fig2", "fig3", "fig6", "table2", "table3", "fig13", "fig14",
-		"fig15", "table4", "fig16", "fig17", "fig18", "scenario"}
+		"fig15", "table4", "fig16", "fig17", "fig18", "scenario", "hetero"}
 	got := engine.ExperimentNames()
 	if len(got) != len(want) {
 		t.Fatalf("registered %d experiments %v, want %d", len(got), got, len(want))

@@ -8,33 +8,55 @@ import (
 // CapacityEventKind classifies how the cluster changes.
 type CapacityEventKind string
 
-// Capacity event kinds. Join adds servers; the other three remove them —
-// they differ only in provenance (reporting), the simulator treats every
-// removal as "the server's jobs are evicted and requeued".
+// Capacity event kinds. Join adds servers; the others remove them. The
+// single-server removals differ only in provenance (reporting) — the
+// simulator treats every removal as "the server's jobs are evicted and
+// requeued". RackDrain removes a whole failure domain at once: every
+// server whose ServerSpec.Rack matches the event's Rack id.
 const (
 	CapacityJoin    CapacityEventKind = "join"
 	CapacityLeave   CapacityEventKind = "leave"   // planned scale-down / maintenance drain
 	CapacityFail    CapacityEventKind = "fail"    // node failure
 	CapacityPreempt CapacityEventKind = "preempt" // spot instance reclaimed
+	// CapacityRackDrain drains one rack: a top-of-rack switch failure,
+	// a PDU trip, or planned rack maintenance. Only meaningful on
+	// topologies with more than one rack (draining a rack absent from
+	// the live cluster is a no-op; the MinServers floor still applies,
+	// so a drain can be partial).
+	CapacityRackDrain CapacityEventKind = "rackdrain"
 )
 
 // CapacityEvent is one entry of a capacity timeline.
 type CapacityEvent struct {
 	Time float64           `json:"time"`
 	Kind CapacityEventKind `json:"kind"`
-	// Servers is how many servers join or leave (0 ⇒ 1).
+	// Servers is how many servers join or leave (0 ⇒ 1 — except for
+	// restock joins, where 0 means "everything still out": the whole
+	// drained rack powers back up). Ignored by rack drains, which
+	// remove the whole rack.
 	Servers int `json:"servers,omitempty"`
 	// Pick ∈ [0,1) selects which server a removal hits, scaled by the
 	// live server count at apply time — precomputing the fraction rather
 	// than an index keeps the timeline valid whatever the cluster size
 	// has become by then.
 	Pick float64 `json:"pick,omitempty"`
+	// Rack is the rack id a rackdrain empties (matching
+	// cluster.ServerSpec.Rack; ParseShape assigns group i to rack i).
+	// Ignored by every other kind.
+	Rack int `json:"rack,omitempty"`
+	// GPUs sets the per-server GPU count of joined servers (0 ⇒ match
+	// the cluster's first server — on a homogeneous fleet, more of the
+	// same). Ignored by removals and by restock joins, which return the
+	// exact servers that left.
+	GPUs int `json:"gpus,omitempty"`
 	// Restocks marks a join that returns capacity removed by an earlier
-	// event of the given kind (a repaired node, restocked spot capacity).
-	// The simulator skips it when that removal never actually happened
-	// (e.g. it was clamped at the MinServers floor), so the cluster can
-	// never grow past its physical size through repairs alone. Empty for
-	// planned joins, which are deliberate growth.
+	// event of the given kind (a repaired node, restocked spot capacity,
+	// a drained rack powering back up). The simulator returns the exact
+	// servers that left — shapes and rack ids included — and skips the
+	// join when the removal never actually happened (e.g. it was clamped
+	// at the MinServers floor), so the cluster can never grow past its
+	// physical size through repairs alone. Empty for planned joins,
+	// which are deliberate growth.
 	Restocks CapacityEventKind `json:"restocks,omitempty"`
 }
 

@@ -37,6 +37,7 @@ const (
 	Elastic     = "elastic"
 	Spot        = "spot"
 	NodeFailure = "node-failure"
+	RackDrain   = "rack-drain"
 )
 
 var (
@@ -158,6 +159,17 @@ func init() {
 			FailMTBF:   300,
 			FailRepair: 900,
 			MinServers: 2,
+		},
+	})
+	Register(Spec{
+		Name:  RackDrain,
+		Title: "rack 1 drains whole at 600 s, powers back at 1800 s (no-op on single-rack clusters)",
+		Capacity: CapacitySpec{
+			Planned: []CapacityEvent{
+				{Time: 600, Kind: CapacityRackDrain, Rack: 1},
+				{Time: 1800, Kind: CapacityJoin, Restocks: CapacityRackDrain},
+			},
+			MinServers: 1,
 		},
 	})
 }

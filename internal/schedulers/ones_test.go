@@ -44,7 +44,7 @@ func sampleJobView(id cluster.JobID) simulator.JobView {
 func TestONESFirstDecisionDeploysNewJob(t *testing.T) {
 	o := NewONES(1, 1.0/12)
 	o.PopulationSize = 4
-	topo := cluster.Topology{Servers: 1, GPUsPerServer: 4}
+	topo := cluster.Uniform(1, 4)
 	view := makeView(0, topo, []simulator.JobView{sampleJobView(0)}, nil)
 	s := o.Decide(simulator.TriggerArrival, view)
 	if s == nil {
@@ -65,7 +65,7 @@ func TestONESFirstDecisionDeploysNewJob(t *testing.T) {
 func TestONESLimitDoublesAfterEpochs(t *testing.T) {
 	o := NewONES(1, 1.0/12)
 	o.PopulationSize = 4
-	topo := cluster.Topology{Servers: 1, GPUsPerServer: 4}
+	topo := cluster.Uniform(1, 4)
 	jv := sampleJobView(0)
 	view := makeView(0, topo, []simulator.JobView{jv}, nil)
 	dep := o.Decide(simulator.TriggerArrival, view)
@@ -97,7 +97,7 @@ func TestONESLimitDoublesAfterEpochs(t *testing.T) {
 func TestONESFinalizesCompletedJobsIntoPredictor(t *testing.T) {
 	o := NewONES(1, 1.0/12)
 	o.PopulationSize = 4
-	topo := cluster.Topology{Servers: 1, GPUsPerServer: 2}
+	topo := cluster.Uniform(1, 2)
 	jv := sampleJobView(0)
 	dep := o.Decide(simulator.TriggerArrival, makeView(0, topo, []simulator.JobView{jv}, nil))
 
@@ -128,7 +128,7 @@ func TestONESFinalizesCompletedJobsIntoPredictor(t *testing.T) {
 func TestONESEpochGateBlocksMidEpochRedeploys(t *testing.T) {
 	o := NewONES(1, 1.0/12)
 	o.PopulationSize = 4
-	topo := cluster.Topology{Servers: 1, GPUsPerServer: 2}
+	topo := cluster.Uniform(1, 2)
 	jv := sampleJobView(0)
 	dep := o.Decide(simulator.TriggerArrival, makeView(0, topo, []simulator.JobView{jv}, nil))
 	jv.Running = true
@@ -150,7 +150,7 @@ func TestDRLNeverPreempts(t *testing.T) {
 	tr, _ := testTrace(t, 12, 4)
 	d := NewDRL(3)
 	cfg := simulator.DefaultConfig(tr)
-	cfg.Topo = cluster.Topology{Servers: 2, GPUsPerServer: 4}
+	cfg.Topo = cluster.Uniform(2, 4)
 	watch := &preemptionWatcher{inner: d, alloc: map[cluster.JobID]int{}}
 	res, err := simulator.Run(cfg, watch)
 	if err != nil {
@@ -200,7 +200,7 @@ func (w *preemptionWatcher) Decide(tr simulator.Trigger, v *simulator.View) *clu
 
 func TestTiresiasPreemptsForHigherPriority(t *testing.T) {
 	tires := NewTiresias()
-	topo := cluster.Topology{Servers: 1, GPUsPerServer: 4}
+	topo := cluster.Uniform(1, 4)
 	// An old job with huge attained service fills the cluster; a new job
 	// arrives. Tiresias must evict the old one (queue 1) for the new
 	// (queue 0).
@@ -231,7 +231,7 @@ func TestTiresiasPreemptsForHigherPriority(t *testing.T) {
 
 func TestDRLWeightsUpdateOnCompletion(t *testing.T) {
 	d := NewDRL(5)
-	topo := cluster.Topology{Servers: 1, GPUsPerServer: 4}
+	topo := cluster.Uniform(1, 4)
 	jv := sampleJobView(0)
 	view := makeView(0, topo, []simulator.JobView{jv}, nil)
 	if s := d.Decide(simulator.TriggerArrival, view); s == nil {
@@ -260,7 +260,7 @@ func TestDRLWeightsUpdateOnCompletion(t *testing.T) {
 func TestONESSeedsDiffer(t *testing.T) {
 	// Different seeds should explore differently; smoke-check that two
 	// seeds produce different deployments at some decision.
-	topo := cluster.Topology{Servers: 2, GPUsPerServer: 4}
+	topo := cluster.Uniform(2, 4)
 	deploy := func(seed int64) string {
 		o := NewONES(seed, 1.0/12)
 		o.PopulationSize = 6

@@ -102,17 +102,11 @@ func (o *Optimus) remainingTime(view *simulator.View, j simulator.JobView, c int
 	return samples / x
 }
 
-// serversFor returns the packed server span of c workers.
+// serversFor returns the packed server span of c workers: the fewest
+// servers that can hold them, largest machines first (on a homogeneous
+// cluster, ⌈c / gpusPerServer⌉).
 func serversFor(c int, topo cluster.Topology) int {
-	per := topo.GPUsPerServer
-	if per <= 0 {
-		return 1
-	}
-	s := (c + per - 1) / per
-	if s < 1 {
-		s = 1
-	}
-	return s
+	return topo.MinServersFor(c)
 }
 
 // Decide implements simulator.Scheduler. Optimus only acts on its periodic

@@ -22,7 +22,7 @@ func runSched(t testing.TB, sched simulator.Scheduler, n int, seed int64) *simul
 	t.Helper()
 	tr, _ := testTrace(t, n, seed)
 	cfg := simulator.DefaultConfig(tr)
-	cfg.Topo = cluster.Topology{Servers: 4, GPUsPerServer: 4}
+	cfg.Topo = cluster.Uniform(4, 4)
 	res, err := simulator.Run(cfg, sched)
 	if err != nil {
 		t.Fatalf("%s: %v", sched.Name(), err)
@@ -110,7 +110,7 @@ func TestOptimusUsesSlopeWhenHistoryAvailable(t *testing.T) {
 }
 
 func TestPlaceGangRespectsCapacity(t *testing.T) {
-	s := cluster.NewSchedule(cluster.Topology{Servers: 1, GPUsPerServer: 4})
+	s := cluster.NewSchedule(cluster.Uniform(1, 4))
 	if !placeGang(s, 1, 4, 256) {
 		t.Fatal("placement of 4 GPUs on empty 4-GPU cluster failed")
 	}
@@ -126,7 +126,7 @@ func TestPlaceGangRespectsCapacity(t *testing.T) {
 }
 
 func TestPlaceGangEvenSplit(t *testing.T) {
-	s := cluster.NewSchedule(cluster.Topology{Servers: 1, GPUsPerServer: 4})
+	s := cluster.NewSchedule(cluster.Uniform(1, 4))
 	placeGang(s, 1, 3, 100) // 34+33+33
 	want := []int{34, 33, 33}
 	for i, w := range want {

@@ -107,6 +107,29 @@ func (c *Cache) Stats() Stats {
 	return s
 }
 
+// Reset drops every completed entry from the in-memory memo and returns
+// how many were dropped — the admin pressure valve for long-lived
+// daemons whose memo would otherwise grow without bound. In-flight
+// computations are left in place: their waiters hold the entry pointer
+// and the singleflight contract must not be broken mid-compute (they
+// re-enter the memo when they finish, and a later Reset can drop them).
+// Persisted disk files are untouched; dropped entries that were written
+// through reload from disk on next use instead of recomputing.
+func (c *Cache) Reset() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for key, e := range c.entries {
+		select {
+		case <-e.done:
+			delete(c.entries, key)
+			dropped++
+		default:
+		}
+	}
+	return dropped
+}
+
 func isCtxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }

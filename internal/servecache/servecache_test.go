@@ -34,7 +34,7 @@ func simulate(t *testing.T, sched string, recordEvents bool) *simulator.Result {
 		t.Fatal(err)
 	}
 	cfg := simulator.DefaultConfig(trace)
-	cfg.Topo = cluster.Topology{Servers: 4, GPUsPerServer: 4}
+	cfg.Topo = cluster.Uniform(4, 4)
 	cfg.RecordEvents = recordEvents
 	if recordEvents {
 		cfg.Capacity = []scenario.CapacityEvent{
@@ -353,5 +353,63 @@ func TestMemoryOnlyCacheWritesNothing(t *testing.T) {
 	}
 	if c.Dir() != "" {
 		t.Errorf("Dir() = %q, want empty", c.Dir())
+	}
+}
+
+func TestResetDropsCompletedEntries(t *testing.T) {
+	dir := t.TempDir()
+	c := mustCache(t, dir)
+	res := simulate(t, "fifo", false)
+	for _, key := range []string{"a", "b"} {
+		if _, err := c.Do(context.Background(), key, func() (*simulator.Result, error) { return res, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Stats().Entries; got != 2 {
+		t.Fatalf("entries before reset = %d, want 2", got)
+	}
+	if dropped := c.Reset(); dropped != 2 {
+		t.Fatalf("Reset dropped %d, want 2", dropped)
+	}
+	if got := c.Stats().Entries; got != 0 {
+		t.Fatalf("entries after reset = %d, want 0", got)
+	}
+	if dropped := c.Reset(); dropped != 0 {
+		t.Fatalf("second Reset dropped %d, want 0", dropped)
+	}
+	// A dropped write-through entry reloads from disk, not recompute.
+	if _, err := c.Do(context.Background(), "a", func() (*simulator.Result, error) {
+		t.Fatal("recompute after reset despite disk entry")
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.DiskHits != 1 {
+		t.Fatalf("DiskHits = %d, want 1 (reload, not recompute)", st.DiskHits)
+	}
+}
+
+func TestResetLeavesInFlightEntries(t *testing.T) {
+	c := mustCache(t, "")
+	res := simulate(t, "fifo", false)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Do(context.Background(), "slow", func() (*simulator.Result, error) {
+			close(started)
+			<-release
+			return res, nil
+		})
+	}()
+	<-started
+	if dropped := c.Reset(); dropped != 0 {
+		t.Fatalf("Reset dropped an in-flight entry (%d)", dropped)
+	}
+	close(release)
+	<-done
+	if got := c.Stats().Entries; got != 1 {
+		t.Fatalf("in-flight entry lost: entries = %d, want 1", got)
 	}
 }

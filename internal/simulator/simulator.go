@@ -199,6 +199,12 @@ type Result struct {
 	// Evictions counts jobs forced off their GPUs by server losses (the
 	// scenario's failures, preemptions and drains), each later requeued.
 	Evictions int
+	// RackDrainEvictions is the subset of Evictions caused by rack-level
+	// drains (scenario.CapacityRackDrain) — whole failure domains going
+	// away at once, as opposed to single-server losses. The json tag
+	// omits the zero so results from rack-free scenarios marshal exactly
+	// as they did before racks existed (cached cells stay valid).
+	RackDrainEvictions int `json:"RackDrainEvictions,omitempty"`
 	// CapacityEvents counts applied cluster topology changes.
 	CapacityEvents int
 	// BusyGPUSeconds accumulates Σ (seconds × GPUs held) over all jobs.
@@ -384,16 +390,19 @@ type engine struct {
 	viewSched    *cluster.Schedule
 	throughputFn func(id cluster.JobID, B, c, servers int) float64
 
-	reconfigs      int
-	evictions      int
-	capacityEvents int
-	busyGPUSeconds float64
-	capGPUSeconds  float64 // ∫ capacity dt, closed at each topology change
-	capSegStart    float64 // when the current capacity segment began
-	// restockable counts servers actually removed per provenance kind and
-	// not yet returned: a restock join consumes from it, so a removal
-	// clamped at the MinServers floor never produces a phantom repair.
-	restockable map[scenario.CapacityEventKind]int
+	reconfigs          int
+	evictions          int
+	rackDrainEvictions int
+	capacityEvents     int
+	busyGPUSeconds     float64
+	capGPUSeconds      float64 // ∫ capacity dt, closed at each topology change
+	capSegStart        float64 // when the current capacity segment began
+	// restockable holds the exact servers removed per provenance kind and
+	// not yet returned, in removal order: a restock join re-adds them —
+	// shapes and rack ids included — so a removal clamped at the
+	// MinServers floor never produces a phantom repair, and a mixed
+	// fleet's repaired capacity comes back with the shape that left.
+	restockable map[scenario.CapacityEventKind][]cluster.ServerSpec
 	metrics     []JobMetric
 	eventLog    []Event
 }
@@ -472,7 +481,7 @@ func RunContext(ctx context.Context, cfg Config, sched Scheduler) (*Result, erro
 		heap.Push(&e.events, event{t: iv, kind: evTick})
 	}
 	if len(cfg.Capacity) > 0 {
-		e.restockable = make(map[scenario.CapacityEventKind]int)
+		e.restockable = make(map[scenario.CapacityEventKind][]cluster.ServerSpec)
 	}
 	for i, cev := range cfg.Capacity {
 		if i > 0 && cev.Time < cfg.Capacity[i-1].Time {
@@ -501,6 +510,7 @@ func RunContext(ctx context.Context, cfg Config, sched Scheduler) (*Result, erro
 		Makespan:           e.now,
 		Reconfigs:          e.reconfigs,
 		Evictions:          e.evictions,
+		RackDrainEvictions: e.rackDrainEvictions,
 		CapacityEvents:     e.capacityEvents,
 		BusyGPUSeconds:     e.busyGPUSeconds,
 		TotalGPUs:          cfg.Topo.TotalGPUs(),
@@ -676,10 +686,12 @@ func (e *engine) scheduleEpochEnd(id cluster.JobID) {
 
 // applyCapacity mutates the live topology per one scenario event:
 // joining servers appear idle at the tail; a removal deletes the picked
-// server and fully evicts every job that held a GPU on it (losing any
+// server (a rack drain deletes every server of the rack) and fully
+// evicts every job that held a GPU on a removed server (losing any
 // worker stops a gang), requeuing them for the scheduler's next decision.
 // Returns whether the topology actually changed — an event clamped to a
-// no-op (MinServers floor, phantom restock) must not wake the scheduler.
+// no-op (MinServers floor, phantom restock, absent rack) must not wake
+// the scheduler.
 func (e *engine) applyCapacity(cev scenario.CapacityEvent) bool {
 	// Settle accounting and training progress at the old capacity.
 	for _, id := range e.order {
@@ -691,25 +703,65 @@ func (e *engine) applyCapacity(cev scenario.CapacityEvent) bool {
 	if n <= 0 {
 		n = 1
 	}
-	if cev.Kind == scenario.CapacityJoin {
+	min := e.cfg.MinServers
+	if min < 1 {
+		min = 1
+	}
+	switch cev.Kind {
+	case scenario.CapacityJoin:
 		if cev.Restocks != "" {
 			// A repair only returns capacity that actually left: if the
 			// paired removal was clamped at the MinServers floor, there
-			// is nothing to restock.
-			if avail := e.restockable[cev.Restocks]; avail < n {
-				n = avail
+			// is nothing to restock. What left is what comes back —
+			// shapes and rack ids included. An unset Servers count means
+			// "everything still out" (the whole drained rack powering
+			// back up); stochastic repairs set Servers explicitly.
+			stock := e.restockable[cev.Restocks]
+			if cev.Servers <= 0 || n > len(stock) {
+				n = len(stock)
 			}
-			e.restockable[cev.Restocks] -= n
+			e.current.AddServerSpecs(stock[:n]...)
+			e.restockable[cev.Restocks] = stock[n:]
+		} else {
+			topo := e.current.Topology()
+			gpus := cev.GPUs
+			if gpus <= 0 {
+				gpus = topo.Servers[0].GPUs
+			}
+			specs := make([]cluster.ServerSpec, n)
+			for i := range specs {
+				specs[i] = cluster.ServerSpec{GPUs: gpus, Rack: topo.NextRack()}
+			}
+			e.current.AddServerSpecs(specs...)
 		}
-		e.current.AddServers(n)
-	} else {
-		min := e.cfg.MinServers
-		if min < 1 {
-			min = 1
+	case scenario.CapacityRackDrain:
+		// Remove the rack's servers highest index first, so the earlier
+		// indices stay valid; clamping at the MinServers floor leaves the
+		// rack's lowest-indexed servers alive (a partial drain).
+		idxs := e.current.Topology().RackServers(cev.Rack)
+		var removed []cluster.ServerSpec
+		for i := len(idxs) - 1; i >= 0; i-- {
+			topo := e.current.Topology()
+			if topo.NumServers() <= min {
+				break
+			}
+			removed = append(removed, topo.Servers[idxs[i]])
+			for _, id := range e.current.RemoveServer(idxs[i]) {
+				if e.evictJob(id) {
+					e.rackDrainEvictions++
+				}
+			}
 		}
-		removed := 0
-		for i := 0; i < n && e.current.Topology().Servers > min; i++ {
-			servers := e.current.Topology().Servers
+		// Reverse so a restock re-adds the servers in their original
+		// axis order.
+		for i, j := 0, len(removed)-1; i < j; i, j = i+1, j-1 {
+			removed[i], removed[j] = removed[j], removed[i]
+		}
+		e.restockable[cev.Kind] = append(e.restockable[cev.Kind], removed...)
+	default: // single-server removals: leave, fail, preempt
+		for i := 0; i < n && e.current.Topology().NumServers() > min; i++ {
+			topo := e.current.Topology()
+			servers := topo.NumServers()
 			idx := int(cev.Pick * float64(servers))
 			if idx >= servers {
 				idx = servers - 1
@@ -717,15 +769,14 @@ func (e *engine) applyCapacity(cev scenario.CapacityEvent) bool {
 			if idx < 0 {
 				idx = 0
 			}
+			e.restockable[cev.Kind] = append(e.restockable[cev.Kind], topo.Servers[idx])
 			for _, id := range e.current.RemoveServer(idx) {
 				e.evictJob(id)
 			}
-			removed++
 		}
-		e.restockable[cev.Kind] += removed
 	}
 	next := e.current.Topology()
-	if next == e.topo {
+	if next.Equal(e.topo) {
 		return false // clamped to a no-op: the world did not change
 	}
 	e.topo = next
@@ -734,14 +785,15 @@ func (e *engine) applyCapacity(cev scenario.CapacityEvent) bool {
 	return true
 }
 
-// evictJob forces a job off its GPUs after a server loss. Unlike a
-// scheduler preemption nothing is saved gracefully: the job keeps its
-// training progress (epoch-boundary semantics) but goes back to the
-// queue until the next deployment readmits it.
-func (e *engine) evictJob(id cluster.JobID) {
+// evictJob forces a job off its GPUs after a server loss, reporting
+// whether the job actually held GPUs. Unlike a scheduler preemption
+// nothing is saved gracefully: the job keeps its training progress
+// (epoch-boundary semantics) but goes back to the queue until the next
+// deployment readmits it.
+func (e *engine) evictJob(id cluster.JobID) bool {
 	js := e.jobs[id]
 	if js == nil || js.done || !js.arrived || js.gpus == 0 {
-		return
+		return false
 	}
 	e.current.Evict(id) // slots surviving on other servers
 	js.gpus, js.batch, js.servers = 0, 0, 0
@@ -749,6 +801,7 @@ func (e *engine) evictJob(id cluster.JobID) {
 	js.seq++ // invalidate any outstanding epoch event
 	e.evictions++
 	e.logEvent(Event{Time: e.now, Kind: EventEvict, Job: id})
+	return true
 }
 
 // logEvent appends to the event log when recording is enabled.
@@ -852,8 +905,8 @@ func (e *engine) snapshot() *View {
 // apply validates and deploys a new schedule, charging reconfiguration
 // costs to every job whose allocation changed.
 func (e *engine) apply(next *cluster.Schedule) error {
-	if next.Topology() != e.topo {
-		return fmt.Errorf("simulator: schedule topology %+v != cluster %+v", next.Topology(), e.topo)
+	if !next.Topology().Equal(e.topo) {
+		return fmt.Errorf("simulator: schedule topology %v != cluster %v", next.Topology(), e.topo)
 	}
 	if err := next.Validate(); err != nil {
 		return err

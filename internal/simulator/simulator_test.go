@@ -59,7 +59,7 @@ func smallTrace(t *testing.T, n int) *workload.Trace {
 func smallConfig(t *testing.T, n int) Config {
 	t.Helper()
 	cfg := DefaultConfig(smallTrace(t, n))
-	cfg.Topo = cluster.Topology{Servers: 4, GPUsPerServer: 4}
+	cfg.Topo = cluster.Uniform(4, 4)
 	return cfg
 }
 
@@ -404,7 +404,7 @@ func TestCapacityJoinGrowsCluster(t *testing.T) {
 	// Start with 1 server: the trace's 4-GPU gangs can't run until the
 	// join doubles the cluster.
 	cfg := smallConfig(t, 6)
-	cfg.Topo = cluster.Topology{Servers: 1, GPUsPerServer: 4}
+	cfg.Topo = cluster.Uniform(1, 4)
 	cfg.Capacity = []scenario.CapacityEvent{
 		{Time: 100, Kind: scenario.CapacityJoin, Servers: 3},
 	}

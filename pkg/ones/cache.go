@@ -52,6 +52,13 @@ func NewCache(dir string, warn func(format string, args ...any)) (*Cache, error)
 // Dir returns the persistence directory ("" when memory-only).
 func (c *Cache) Dir() string { return c.impl.Dir() }
 
+// Reset drops every completed entry from the in-memory memo and returns
+// how many were dropped. In-flight computations finish undisturbed, and
+// persisted disk files are untouched — a dropped entry that was written
+// through reloads from disk on next use instead of recomputing. Use it
+// to bound a long-lived daemon's memory (see onesd's DELETE /v1/cache).
+func (c *Cache) Reset() int { return c.impl.Reset() }
+
 // Stats snapshots the cache counters.
 func (c *Cache) Stats() CacheStats {
 	s := c.impl.Stats()

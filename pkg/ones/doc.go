@@ -16,6 +16,14 @@
 //	if err != nil { ... }
 //	res, err := s.Run(ctx)
 //
+// Clusters are homogeneous by default (WithTopology); WithShape
+// describes a mixed fleet — per-server GPU counts in rack-level failure
+// domains, e.g. "4x8,2x4" — that rack-aware scenarios ("rack-drain")
+// can break realistically, with Result.Racks and
+// Result.RackDrainEvictions reporting the damage. The package's
+// Example functions (run by go test) are the maintained walkthroughs of
+// these paths.
+//
 // Every run takes a context.Context. Cancellation is observed at cell
 // boundaries: queued simulations never start, in-flight ones finish, and
 // the call returns only once its workers have drained — no goroutine

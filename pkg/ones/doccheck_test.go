@@ -1,0 +1,76 @@
+package ones
+
+import (
+	"go/ast"
+	"go/doc"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+// TestEveryExportedSymbolIsDocumented enforces the public surface's
+// documentation contract: every exported symbol in pkg/ones and
+// pkg/ones/serve — types, functions, methods, constructors, consts and
+// vars — carries a doc comment, and each package has a package comment.
+// CI runs this as part of the docs job, so an undocumented addition to
+// the SDK fails the build rather than shipping dark.
+func TestEveryExportedSymbolIsDocumented(t *testing.T) {
+	for _, dir := range []string{".", "serve"} {
+		checkPackageDocs(t, dir)
+	}
+}
+
+func checkPackageDocs(t *testing.T, dir string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("%s: %v", dir, err)
+	}
+	for _, p := range pkgs {
+		d := doc.New(p, "./", 0)
+		undocumented := func(kind, name, docText string) {
+			if docText == "" {
+				t.Errorf("%s: %s %s has no doc comment", dir, kind, name)
+			}
+		}
+		if d.Doc == "" {
+			t.Errorf("%s: package %s has no package comment", dir, d.Name)
+		}
+		for _, f := range d.Funcs {
+			if ast.IsExported(f.Name) {
+				undocumented("func", f.Name, f.Doc)
+			}
+		}
+		for _, typ := range d.Types {
+			if ast.IsExported(typ.Name) {
+				undocumented("type", typ.Name, typ.Doc)
+			}
+			for _, f := range typ.Funcs { // constructors grouped under the type
+				if ast.IsExported(f.Name) {
+					undocumented("func", f.Name, f.Doc)
+				}
+			}
+			for _, m := range typ.Methods {
+				if ast.IsExported(m.Name) {
+					undocumented("method", typ.Name+"."+m.Name, m.Doc)
+				}
+			}
+		}
+		for _, grp := range append(d.Consts, d.Vars...) {
+			exported := false
+			for _, name := range grp.Names {
+				if ast.IsExported(name) {
+					exported = true
+				}
+			}
+			if exported {
+				undocumented("const/var group", strings.Join(grp.Names, ","), grp.Doc)
+			}
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package ones_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/pkg/ones"
+)
+
+// Example is the SDK's front-page path: configure a Session once with
+// functional options, then run a simulation under a context. (Compiled
+// by go test; not executed, since a full run takes seconds.)
+func Example() {
+	s, err := ones.New(
+		ones.WithScheduler("ones"),
+		ones.WithScenario("diurnal+spot"),
+		ones.WithTopology(4, 4),
+		ones.WithTrace(ones.Trace{Jobs: 12, MeanInterarrival: 30, MaxGPUs: 4}),
+		ones.WithSeed(7),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mean JCT %.1f s over %d jobs\n", res.MeanJCT, len(res.Jobs))
+}
+
+// ExampleWithShape simulates a heterogeneous fleet — four dense 8-GPU
+// boxes in rack 0, two small 4-GPU boxes in rack 1 — under the
+// rack-drain scenario, and reads the rack-level outcome off the Result.
+func ExampleWithShape() {
+	s, err := ones.New(
+		ones.WithScheduler("ones"),
+		ones.WithShape("4x8,2x4"),
+		ones.WithScenario("rack-drain"),
+		ones.WithQuickScale(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, rack := range res.Racks {
+		fmt.Printf("rack %d: %d servers, %d GPUs\n", rack.Rack, rack.Servers, rack.GPUs)
+	}
+	fmt.Printf("evictions from rack drains: %d\n", res.RackDrainEvictions)
+}
+
+// ExampleSession_Compare pairs every paper scheduler against the same
+// trace and capacity timeline — the comparison the Wilcoxon analysis
+// requires.
+func ExampleSession_Compare() {
+	s, err := ones.New(ones.WithQuickScale())
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := s.Compare(context.Background(), "ones", "tiresias")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("%-10s mean JCT %.1f s\n", r.Scheduler, r.MeanJCT)
+	}
+}
+
+// ExampleParseShape validates a cluster shape without running anything.
+// Group order is significant: it fixes the GPU axis and the rack ids.
+func ExampleParseShape() {
+	sh, err := ones.ParseShape("4x8,2x4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d servers, %d GPUs, largest server %d GPUs\n", sh.Servers, sh.TotalGPUs, sh.MaxServerGPUs)
+	for _, r := range sh.Racks {
+		fmt.Printf("rack %d: %d servers, %d GPUs\n", r.Rack, r.Servers, r.GPUs)
+	}
+	// Output:
+	// 6 servers, 40 GPUs, largest server 8 GPUs
+	// rack 0: 4 servers, 32 GPUs
+	// rack 1: 2 servers, 8 GPUs
+}
+
+// ExampleGenerateTrace builds a deterministic workload trace and
+// inspects its composition — the Table 2 view.
+func ExampleGenerateTrace() {
+	trace, err := ones.GenerateTrace(ones.Trace{Jobs: 30, MeanInterarrival: 12, Seed: 1}, "steady")
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := trace.Summary()
+	fmt.Printf("jobs: %d\n", s.Jobs)
+	fmt.Printf("largest request: %d GPUs\n", s.MaxGPUReq)
+	// Output:
+	// jobs: 30
+	// largest request: 8 GPUs
+}
+
+// ExampleNewCache shares one persistent result cache across sessions:
+// any cell one session computed — in this process or a previous one —
+// is recalled instead of resimulated.
+func ExampleNewCache() {
+	cache, err := ones.NewCache("/tmp/ones-cache", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := ones.New(ones.WithCache(cache), ones.WithQuickScale())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := s.Run(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(cache.Stats().Computes) // 1 on a cold cache, 0 on a warm rerun
+}

@@ -3,6 +3,7 @@ package ones
 import (
 	"fmt"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 )
 
@@ -14,6 +15,7 @@ type settings struct {
 	scenario  string
 	servers   int
 	gpusPer   int
+	shape     string
 	trace     Trace
 	observer  Observer
 	cache     *Cache
@@ -47,7 +49,9 @@ func WithScenario(name string) Option {
 
 // WithTopology shapes the cluster: servers homogeneous servers of
 // gpusPerServer GPUs each. The default is the paper's Longhorn testbed,
-// 16 servers × 4 GPUs.
+// 16 servers × 4 GPUs. For mixed fleets — different GPU counts per
+// server, rack-level failure domains — use WithShape instead; the later
+// of the two options wins.
 func WithTopology(servers, gpusPerServer int) Option {
 	return func(s *settings) {
 		if servers <= 0 || gpusPerServer <= 0 {
@@ -56,6 +60,30 @@ func WithTopology(servers, gpusPerServer int) Option {
 		}
 		s.servers = servers
 		s.gpusPer = gpusPerServer
+		s.shape = ""
+	}
+}
+
+// WithShape shapes a heterogeneous cluster from a shape string like
+// "4x8,2x4": comma-separated COUNTxGPUS groups of identical servers,
+// each group forming one rack (failure domain). Group order is
+// significant — it fixes the GPU axis and the rack ids, so "4x8,2x4"
+// and "2x4,4x8" are distinct clusters with distinct results. Rack-aware
+// scenarios (e.g. "rack-drain") can take a whole group down at once;
+// Result.Racks reports the per-rack capacity. WithShape overrides an
+// earlier WithTopology (and vice versa — the later option wins).
+func WithShape(shape string) Option {
+	return func(s *settings) {
+		topo, err := cluster.ParseShape(shape)
+		if err != nil {
+			s.fail(fmt.Errorf("ones: WithShape(%q): %w", shape, err))
+			return
+		}
+		// Store the canonical rendering so spelling variants of one
+		// topology ("4x8, 2x4" vs "4x8,2x4") share a simulation cell and
+		// a cache entry. Group order is preserved — it is semantic.
+		s.shape = topo.Shape()
+		s.servers, s.gpusPer = 0, 0
 	}
 }
 

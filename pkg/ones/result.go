@@ -39,6 +39,14 @@ type Distribution struct {
 	Max    float64 `json:"max"`
 }
 
+// RackCapacity summarizes one rack (failure domain) of the initial
+// cluster topology.
+type RackCapacity struct {
+	Rack    int `json:"rack"`
+	Servers int `json:"servers"`
+	GPUs    int `json:"gpus"`
+}
+
 // Result is the stable public view of one simulation run. It marshals
 // cleanly to JSON (see cmd/onesim -json) and carries both per-job
 // metrics and the summary statistics the paper's figures report.
@@ -46,7 +54,13 @@ type Result struct {
 	Scheduler string `json:"scheduler"` // display name, e.g. "ONES"
 	Scenario  string `json:"scenario"`
 	Capacity  int    `json:"capacity_gpus"` // initial cluster capacity
-	TraceSeed int64  `json:"trace_seed"`
+	// Shape is the heterogeneous cluster shape the run simulated (see
+	// WithShape); empty for homogeneous topologies.
+	Shape string `json:"shape,omitempty"`
+	// Racks is the initial per-rack capacity, ascending by rack id. A
+	// homogeneous WithTopology cluster is one rack.
+	Racks     []RackCapacity `json:"racks,omitempty"`
+	TraceSeed int64          `json:"trace_seed"`
 
 	Jobs []Job `json:"jobs"`
 
@@ -68,6 +82,9 @@ type Result struct {
 	// Evictions counts jobs forced off their GPUs by server losses (the
 	// scenario's failures, preemptions and drains), each later requeued.
 	Evictions int `json:"evictions,omitempty"`
+	// RackDrainEvictions is the subset of Evictions caused by rack-level
+	// drains — whole failure domains going away at once.
+	RackDrainEvictions int `json:"rack_drain_evictions,omitempty"`
 	// CapacityEvents counts applied cluster topology changes.
 	CapacityEvents int `json:"capacity_events,omitempty"`
 
@@ -114,6 +131,7 @@ func newResult(cell engine.Cell, p engine.Params, res *simulator.Result) *Result
 		Scheduler:          res.Scheduler,
 		Scenario:           scenarioName,
 		Capacity:           capacity,
+		Shape:              cell.Shape,
 		TraceSeed:          seed,
 		Jobs:               make([]Job, len(res.Jobs)),
 		Makespan:           res.Makespan,
@@ -125,9 +143,19 @@ func newResult(cell engine.Cell, p engine.Params, res *simulator.Result) *Result
 		CapacityGPUSeconds: res.CapacityGPUSeconds,
 		Reconfigs:          res.Reconfigs,
 		Evictions:          res.Evictions,
+		RackDrainEvictions: res.RackDrainEvictions,
 		CapacityEvents:     res.CapacityEvents,
 		Truncated:          res.Truncated,
 		Unfinished:         res.Unfinished,
+	}
+	// Resolve the cell's defaulted capacity before deriving the rack
+	// summary, so a default-topology session still reports its one rack.
+	rcell := cell
+	rcell.Capacity = capacity
+	if topo, err := rcell.Topology(); err == nil && topo.NumServers() > 0 {
+		for _, rc := range topo.RackSummary() {
+			out.Racks = append(out.Racks, RackCapacity{Rack: rc.Rack, Servers: rc.Servers, GPUs: rc.GPUs})
+		}
 	}
 	for i, j := range res.Jobs {
 		out.Jobs[i] = Job{

@@ -1,0 +1,31 @@
+package serve_test
+
+import (
+	"context"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/pkg/ones"
+	"repro/pkg/ones/serve"
+)
+
+// Example embeds the daemon's control plane in another process: build a
+// Server over a shared persistent cache, mount its routes, and drain it
+// gracefully on the way out. (Compiled by go test; not executed.)
+func Example() {
+	cache, err := ones.NewCache("/var/cache/onesd", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := serve.New(cache, nil)
+	httpServer := &http.Server{Addr: ":8080", Handler: srv.Handler()}
+	go httpServer.ListenAndServe()
+
+	// ... serve traffic: POST /v1/runs, GET /v1/runs/{id}/stream, ...
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)        // cancel in-flight runs mid-cell, drain goroutines
+	httpServer.Shutdown(ctx) // then close the listener
+}

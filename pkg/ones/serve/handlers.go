@@ -73,6 +73,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /v1/cache", s.handleCache)
+	mux.HandleFunc("DELETE /v1/cache", s.handleCacheReset)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -269,5 +270,22 @@ func (s *Server) handleCache(w http.ResponseWriter, req *http.Request) {
 		"enabled": true,
 		"dir":     s.cache.Dir(),
 		"stats":   s.cache.Stats(),
+	})
+}
+
+// handleCacheReset (DELETE /v1/cache) clears the shared in-memory memo
+// and reports how many completed entries were dropped — the admin
+// pressure valve for long-lived daemons. In-flight computations finish
+// undisturbed and persisted cell files stay on disk, so the reset can
+// cost recomputation (memory-only cache) or a disk reload, never
+// correctness.
+func (s *Server) handleCacheReset(w http.ResponseWriter, req *http.Request) {
+	if s.cache == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"enabled": false, "dropped": 0})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled": true,
+		"dropped": s.cache.Reset(),
 	})
 }

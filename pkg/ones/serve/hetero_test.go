@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestDaemonMixedShapeRun drives a heterogeneous-topology run spec end
+// to end: the shape reaches the SDK, the result reports per-rack
+// capacity, and an invalid shape is rejected at create time.
+func TestDaemonMixedShapeRun(t *testing.T) {
+	srv, ts := newTestServer(t, "")
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	spec := RunSpec{Scheduler: "fifo", Shape: "2x4,1x8", Scenario: "rack-drain",
+		Jobs: 10, Interarrival: 25, Seed: 7, Quick: true}
+	st := createRun(t, ts.URL, spec)
+	st = waitStatus(t, ts.URL, st.ID, StatusDone, 30*time.Second)
+	if st.Result == nil {
+		t.Fatal("done run has no result")
+	}
+	if st.Result.Shape != "2x4,1x8" || st.Result.Capacity != 16 {
+		t.Errorf("result shape/capacity = %q/%d", st.Result.Shape, st.Result.Capacity)
+	}
+	if len(st.Result.Racks) != 2 {
+		t.Errorf("result racks = %+v", st.Result.Racks)
+	}
+
+	doJSON(t, "POST", ts.URL+"/v1/runs", RunSpec{Shape: "zzz", Quick: true}, http.StatusBadRequest)
+}
+
+// TestDaemonCacheReset exercises DELETE /v1/cache: completed entries are
+// dropped and reported, and the endpoint is safe to call repeatedly.
+func TestDaemonCacheReset(t *testing.T) {
+	srv, ts := newTestServer(t, "")
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	st := createRun(t, ts.URL, quickSpec())
+	waitStatus(t, ts.URL, st.ID, StatusDone, 30*time.Second)
+
+	var info struct {
+		Enabled bool `json:"enabled"`
+		Stats   struct {
+			Entries int `json:"entries"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(doJSON(t, "GET", ts.URL+"/v1/cache", nil, http.StatusOK), &info); err != nil {
+		t.Fatal(err)
+	}
+	if !info.Enabled || info.Stats.Entries == 0 {
+		t.Fatalf("expected a populated cache, got %+v", info)
+	}
+
+	var reset struct {
+		Enabled bool `json:"enabled"`
+		Dropped int  `json:"dropped"`
+	}
+	if err := json.Unmarshal(doJSON(t, "DELETE", ts.URL+"/v1/cache", nil, http.StatusOK), &reset); err != nil {
+		t.Fatal(err)
+	}
+	if !reset.Enabled || reset.Dropped != info.Stats.Entries {
+		t.Fatalf("reset dropped %d, want %d", reset.Dropped, info.Stats.Entries)
+	}
+
+	if err := json.Unmarshal(doJSON(t, "GET", ts.URL+"/v1/cache", nil, http.StatusOK), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Stats.Entries != 0 {
+		t.Fatalf("entries after reset = %d, want 0", info.Stats.Entries)
+	}
+	// Idempotent: a second reset drops nothing.
+	if err := json.Unmarshal(doJSON(t, "DELETE", ts.URL+"/v1/cache", nil, http.StatusOK), &reset); err != nil {
+		t.Fatal(err)
+	}
+	if reset.Dropped != 0 {
+		t.Fatalf("second reset dropped %d, want 0", reset.Dropped)
+	}
+}
+
+// TestDaemonCacheResetDisabled covers the cache-less daemon.
+func TestDaemonCacheResetDisabled(t *testing.T) {
+	srv := New(nil, nil)
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var reset struct {
+		Enabled bool `json:"enabled"`
+		Dropped int  `json:"dropped"`
+	}
+	if err := json.Unmarshal(doJSON(t, "DELETE", ts.URL+"/v1/cache", nil, http.StatusOK), &reset); err != nil {
+		t.Fatal(err)
+	}
+	if reset.Enabled || reset.Dropped != 0 {
+		t.Fatalf("cache-less reset = %+v", reset)
+	}
+}

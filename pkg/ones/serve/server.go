@@ -28,12 +28,15 @@ var ErrShuttingDown = errors.New("server is shutting down")
 // RunSpec is the POST /v1/runs request body. Zero fields keep the SDK
 // defaults (scheduler "ones", scenario "steady", the 16×4 Longhorn
 // topology, seed 1). Quick shrinks the workload to smoke-test scale
-// before the other fields apply.
+// before the other fields apply. Shape requests a heterogeneous cluster
+// ("4x8,2x4": per-server GPU counts, one rack per comma group — see
+// ones.WithShape) and overrides Servers/GPUsPerServer when set.
 type RunSpec struct {
 	Scheduler     string  `json:"scheduler,omitempty"`
 	Scenario      string  `json:"scenario,omitempty"`
 	Servers       int     `json:"servers,omitempty"`
 	GPUsPerServer int     `json:"gpus_per_server,omitempty"`
+	Shape         string  `json:"shape,omitempty"`
 	Seed          int64   `json:"seed,omitempty"`
 	Jobs          int     `json:"jobs,omitempty"`
 	Interarrival  float64 `json:"interarrival_s,omitempty"`
@@ -65,6 +68,9 @@ func (sp RunSpec) options(obs ones.Observer, cache *ones.Cache) []ones.Option {
 			per = 4
 		}
 		opts = append(opts, ones.WithTopology(servers, per))
+	}
+	if sp.Shape != "" {
+		opts = append(opts, ones.WithShape(sp.Shape))
 	}
 	if sp.Jobs != 0 || sp.Interarrival != 0 || sp.MaxGPUs != 0 || sp.Seed != 0 {
 		opts = append(opts, ones.WithTrace(ones.Trace{

@@ -24,6 +24,7 @@ type Session struct {
 	scenario  string
 	servers   int
 	gpusPer   int
+	shape     string
 	traceSeed int64
 	obs       Observer
 	runner    *engine.Runner
@@ -68,6 +69,7 @@ func New(opts ...Option) (*Session, error) {
 		scenario:  st.scenario,
 		servers:   st.servers,
 		gpusPer:   st.gpusPer,
+		shape:     st.shape,
 		traceSeed: st.trace.Seed,
 		obs:       st.observer,
 		runner:    engine.NewRunner(p),
@@ -157,6 +159,7 @@ func (s *Session) cell(scheduler string) engine.Cell {
 		Scheduler: scheduler,
 		Capacity:  s.servers * s.gpusPer,
 		GPUsPer:   s.gpusPer,
+		Shape:     s.shape,
 		TraceSeed: s.traceSeed,
 		Scenario:  s.scenario,
 	}

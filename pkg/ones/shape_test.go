@@ -1,0 +1,115 @@
+package ones
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestWithShapeValidation(t *testing.T) {
+	if _, err := New(WithShape("not-a-shape")); err == nil {
+		t.Fatal("New accepted an invalid shape")
+	}
+	if _, err := New(WithShape("4x8,2x4"), WithQuickScale()); err != nil {
+		t.Fatalf("valid shape rejected: %v", err)
+	}
+}
+
+func TestParseShapeSummary(t *testing.T) {
+	sh, err := ParseShape("4x8,2x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Servers != 6 || sh.TotalGPUs != 40 || sh.MaxServerGPUs != 8 {
+		t.Fatalf("summary = %+v", sh)
+	}
+	if len(sh.Racks) != 2 || sh.Racks[0].GPUs != 32 || sh.Racks[1].GPUs != 8 {
+		t.Fatalf("racks = %+v", sh.Racks)
+	}
+	if _, err := ParseShape("4x"); err == nil {
+		t.Fatal("bad shape parsed")
+	}
+}
+
+func TestRunOnMixedShapeReportsRacks(t *testing.T) {
+	s, err := New(
+		WithScheduler("fifo"),
+		WithShape("2x4,1x8"),
+		WithScenario("rack-drain"),
+		WithTrace(Trace{Jobs: 12, MeanInterarrival: 20}),
+		WithQuickScale(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shape != "2x4,1x8" {
+		t.Errorf("Shape = %q", res.Shape)
+	}
+	if res.Capacity != 16 {
+		t.Errorf("Capacity = %d, want 16", res.Capacity)
+	}
+	if len(res.Racks) != 2 ||
+		res.Racks[0] != (RackCapacity{Rack: 0, Servers: 2, GPUs: 8}) ||
+		res.Racks[1] != (RackCapacity{Rack: 1, Servers: 1, GPUs: 8}) {
+		t.Errorf("Racks = %+v", res.Racks)
+	}
+	if res.RackDrainEvictions > res.Evictions {
+		t.Errorf("RackDrainEvictions %d > Evictions %d", res.RackDrainEvictions, res.Evictions)
+	}
+}
+
+func TestHomogeneousRunReportsSingleRack(t *testing.T) {
+	s, err := New(WithScheduler("fifo"), WithTopology(4, 4),
+		WithTrace(Trace{Jobs: 8, MeanInterarrival: 25}), WithQuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shape != "" {
+		t.Errorf("homogeneous run has Shape %q", res.Shape)
+	}
+	if len(res.Racks) != 1 || res.Racks[0] != (RackCapacity{Rack: 0, Servers: 4, GPUs: 16}) {
+		t.Errorf("Racks = %+v", res.Racks)
+	}
+}
+
+func TestShapeOrderingsAreDistinctSessions(t *testing.T) {
+	run := func(shape string) *Result {
+		s, err := New(WithScheduler("fifo"), WithShape(shape), WithScenario("rack-drain"),
+			WithTrace(Trace{Jobs: 12, MeanInterarrival: 20}), WithQuickScale())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run("2x4,1x8"), run("1x8,2x4")
+	// Same total capacity, same trace — but the rack drain takes out
+	// different hardware, so the runs must not be conflated.
+	if a.Shape == b.Shape {
+		t.Fatal("distinct orderings reported the same shape")
+	}
+	if a.Capacity != b.Capacity {
+		t.Fatalf("capacities differ: %d vs %d", a.Capacity, b.Capacity)
+	}
+}
+
+func TestWithShapeErrorIsFirstFailure(t *testing.T) {
+	_, err := New(WithShape("zzz"), WithScheduler("nope"))
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if errors.Is(err, ErrUnknownScheduler) {
+		t.Fatalf("option-validation error should win over scheduler lookup: %v", err)
+	}
+}

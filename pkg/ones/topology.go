@@ -1,0 +1,37 @@
+package ones
+
+import (
+	"repro/internal/cluster"
+)
+
+// ShapeSummary describes a parsed heterogeneous cluster shape (see
+// WithShape for the syntax) without running anything: total capacity,
+// the largest single server, and the per-rack failure domains.
+type ShapeSummary struct {
+	Shape         string         `json:"shape"`
+	Servers       int            `json:"servers"`
+	TotalGPUs     int            `json:"total_gpus"`
+	MaxServerGPUs int            `json:"max_server_gpus"`
+	Racks         []RackCapacity `json:"racks"`
+}
+
+// ParseShape validates a cluster shape string like "4x8,2x4" and
+// returns its capacity summary. Use it to sanity-check a shape — e.g.
+// whether a trace's largest GPU request still fits on one server —
+// before committing a Session (WithShape) or a daemon run spec to it.
+func ParseShape(shape string) (ShapeSummary, error) {
+	topo, err := cluster.ParseShape(shape)
+	if err != nil {
+		return ShapeSummary{}, err
+	}
+	out := ShapeSummary{
+		Shape:         shape,
+		Servers:       topo.NumServers(),
+		TotalGPUs:     topo.TotalGPUs(),
+		MaxServerGPUs: topo.MaxServerGPUs(),
+	}
+	for _, rc := range topo.RackSummary() {
+		out.Racks = append(out.Racks, RackCapacity{Rack: rc.Rack, Servers: rc.Servers, GPUs: rc.GPUs})
+	}
+	return out, nil
+}

@@ -102,6 +102,7 @@ type TraceSummary struct {
 	Jobs       int            `json:"jobs"`
 	Makespan   float64        `json:"makespan_s"` // submit time of the last job
 	MeanGPUReq float64        `json:"mean_gpu_req"`
+	MaxGPUReq  int            `json:"max_gpu_req"` // largest single job request
 	ByClass    map[string]int `json:"by_class"`
 	ByModel    map[string]int `json:"by_model"`
 }
@@ -121,6 +122,11 @@ func (d *TraceData) Summary() TraceSummary {
 	}
 	for model, n := range s.ByModel {
 		out.ByModel[model] = n
+	}
+	for _, j := range d.trace.Jobs {
+		if j.ReqGPUs > out.MaxGPUReq {
+			out.MaxGPUReq = j.ReqGPUs
+		}
 	}
 	return out
 }
