@@ -315,6 +315,38 @@ func benchEngineSweep(b *testing.B, workers int) {
 func BenchmarkEngineSweepSerial(b *testing.B)   { benchEngineSweep(b, 1) }
 func BenchmarkEngineSweepParallel(b *testing.B) { benchEngineSweep(b, 0) }
 
+// --- Evolution hot path: the headline perf benchmark ---
+
+// BenchmarkEvolution500Jobs is the headline wall-time benchmark for the
+// evolution hot path: one full ONES simulation of a 500-job trace on a
+// 32-GPU cluster. Nearly all of its time is spent inside
+// evolution.Engine.Iterate (candidate generation + SRUF scoring), so its
+// ns/op tracks the optimizations guarded by BENCH_6.json: the throughput
+// memo, one-pass genome aggregation, pooled clones and the flat event
+// queue.
+func BenchmarkEvolution500Jobs(b *testing.B) {
+	cfg := workload.Config{Seed: 6, NumJobs: 500, MeanInterarrival: 12, MaxReqGPUs: 8}
+	tr, err := workload.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var jct float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := schedulers.NewONES(6, cfg.ArrivalRate())
+		o.PopulationSize = 16
+		scfg := simulator.DefaultConfig(tr)
+		scfg.Topo = cluster.Uniform(8, 4)
+		res, err := simulator.Run(scfg, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jct = res.MeanJCT()
+	}
+	b.ReportMetric(jct, "ones-jct-s")
+}
+
 // --- Ablations of ONES's design choices ---
 
 func ablationTrace(b *testing.B) (*workload.Trace, workload.Config) {

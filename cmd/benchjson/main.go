@@ -4,13 +4,24 @@
 // can be compared across commits without reparsing free-form text.
 //
 //	go test -run '^$' -bench . -benchtime 1x | benchjson > BENCH_engine.json
+//
+// With -baseline it additionally acts as a perf-regression gate: the
+// fresh run (still emitted on stdout) is compared against the committed
+// baseline document, and the process exits nonzero if any benchmark
+// matching -headline regressed in ns/op by more than -max-regress:
+//
+//	go test -run '^$' -bench . -benchtime 1x | \
+//	  benchjson -baseline BENCH_6.json -headline 'Evolution500Jobs|Iterate|Score|EventQueue' -max-regress 0.15
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -34,8 +45,59 @@ type Report struct {
 }
 
 func main() {
+	baseline := flag.String("baseline", "", "committed baseline JSON to gate against (empty = convert only)")
+	headline := flag.String("headline", ".", "regexp selecting the gated benchmark names")
+	maxRegress := flag.Float64("max-regress", 0.15, "maximum allowed ns/op regression vs the baseline (0.15 = +15%)")
+	flag.Parse()
+
+	report, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	if *baseline == "" {
+		return
+	}
+	raw, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *baseline, err)
+		os.Exit(1)
+	}
+	re, err := regexp.Compile(*headline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: -headline:", err)
+		os.Exit(1)
+	}
+	violations, err := gate(report, base, re, *maxRegress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", v)
+	}
+	if len(violations) > 0 {
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: gate passed (headline %q, max regression %.0f%%)\n", *headline, *maxRegress*100)
+}
+
+// parse reads `go test -bench` text output into a Report.
+func parse(r io.Reader) (Report, error) {
 	report := Report{Benchmarks: []Benchmark{}}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
@@ -54,16 +116,46 @@ func main() {
 			}
 		}
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	return report, sc.Err()
+}
+
+// gate compares the fresh run against the baseline on every headline
+// benchmark and returns one violation string per benchmark whose ns/op
+// regressed by more than maxRegress. A headline benchmark present in the
+// baseline but missing from the fresh run is an error: a silently
+// deleted benchmark must not pass the gate.
+func gate(cur, base Report, headline *regexp.Regexp, maxRegress float64) ([]string, error) {
+	curNs := make(map[string]float64, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		if ns, ok := b.Metrics["ns/op"]; ok {
+			curNs[b.Name] = ns
+		}
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(report); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	var violations []string
+	gated := 0
+	for _, b := range base.Benchmarks {
+		if !headline.MatchString(b.Name) {
+			continue
+		}
+		baseNs, ok := b.Metrics["ns/op"]
+		if !ok || baseNs <= 0 {
+			continue
+		}
+		ns, ok := curNs[b.Name]
+		if !ok {
+			return nil, fmt.Errorf("headline benchmark %s missing from this run", b.Name)
+		}
+		gated++
+		if ratio := ns / baseNs; ratio > 1+maxRegress {
+			violations = append(violations,
+				fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (%+.1f%%, limit %+.0f%%)",
+					b.Name, ns, baseNs, (ratio-1)*100, maxRegress*100))
+		}
 	}
+	if gated == 0 {
+		return nil, fmt.Errorf("headline %q matched no baseline benchmark with ns/op", headline)
+	}
+	return violations, nil
 }
 
 // parseBenchLine parses one result line:

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const benchText = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEvolution500Jobs 	       1	67929149333 ns/op	      2330 ones-jct-s	4382075624 B/op	47384258 allocs/op
+BenchmarkIterate-8   	     100	   1000000 ns/op	    2048 B/op	      12 allocs/op
+BenchmarkFig06OnlinePredictor 	       2	 600000000 ns/op
+PASS
+`
+
+func parsed(t *testing.T, text string) Report {
+	t.Helper()
+	r, err := parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestParseBenchText(t *testing.T) {
+	r := parsed(t, benchText)
+	if r.Goos != "linux" || r.Goarch != "amd64" || r.Pkg != "repro" {
+		t.Fatalf("header mis-parsed: %+v", r)
+	}
+	if len(r.Benchmarks) != 3 {
+		t.Fatalf("want 3 benchmarks, got %d", len(r.Benchmarks))
+	}
+	ev := r.Benchmarks[0]
+	if ev.Name != "Evolution500Jobs" || ev.Metrics["ns/op"] != 67929149333 || ev.Metrics["ones-jct-s"] != 2330 {
+		t.Fatalf("headline line mis-parsed: %+v", ev)
+	}
+	if it := r.Benchmarks[1]; it.Name != "Iterate" || it.Procs != 8 {
+		t.Fatalf("procs suffix mis-parsed: %+v", it)
+	}
+}
+
+// scale returns a copy of the report with every ns/op multiplied by f —
+// a synthetic slowdown (f > 1) or speedup (f < 1).
+func scale(r Report, f float64) Report {
+	out := Report{Benchmarks: make([]Benchmark, len(r.Benchmarks))}
+	for i, b := range r.Benchmarks {
+		nb := Benchmark{Name: b.Name, Procs: b.Procs, Iterations: b.Iterations, Metrics: map[string]float64{}}
+		for k, v := range b.Metrics {
+			nb.Metrics[k] = v
+		}
+		nb.Metrics["ns/op"] *= f
+		out.Benchmarks[i] = nb
+	}
+	return out
+}
+
+// TestGateFailsSyntheticSlowdown is the gate's acceptance test: a 2×
+// slowdown on the headline benchmarks MUST produce violations, while the
+// identical run and runs within the 15% budget must pass.
+func TestGateFailsSyntheticSlowdown(t *testing.T) {
+	base := parsed(t, benchText)
+	headline := regexp.MustCompile(`Evolution500Jobs|Iterate`)
+
+	violations, err := gate(scale(base, 2), base, headline, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 2 {
+		t.Fatalf("2x slowdown: want 2 violations (both headline benchmarks), got %v", violations)
+	}
+	for _, v := range violations {
+		if !strings.Contains(v, "ns/op") {
+			t.Errorf("violation should cite ns/op: %q", v)
+		}
+	}
+
+	if v, err := gate(base, base, headline, 0.15); err != nil || len(v) != 0 {
+		t.Fatalf("identical run must pass: %v, %v", v, err)
+	}
+	if v, err := gate(scale(base, 1.10), base, headline, 0.15); err != nil || len(v) != 0 {
+		t.Fatalf("+10%% (within the 15%% budget) must pass: %v, %v", v, err)
+	}
+	if v, err := gate(scale(base, 0.5), base, headline, 0.15); err != nil || len(v) != 0 {
+		t.Fatalf("speedups must pass: %v, %v", v, err)
+	}
+}
+
+func TestGateIgnoresNonHeadline(t *testing.T) {
+	base := parsed(t, benchText)
+	headline := regexp.MustCompile(`Evolution500Jobs`)
+	// Slow down everything: only the headline benchmark may violate.
+	violations, err := gate(scale(base, 3), base, headline, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 1 || !strings.Contains(violations[0], "Evolution500Jobs") {
+		t.Fatalf("want exactly the headline violation, got %v", violations)
+	}
+}
+
+func TestGateErrors(t *testing.T) {
+	base := parsed(t, benchText)
+	// A deleted headline benchmark must not slip through as a pass.
+	cur := Report{Benchmarks: base.Benchmarks[1:]}
+	if _, err := gate(cur, base, regexp.MustCompile(`Evolution500Jobs`), 0.15); err == nil {
+		t.Fatal("missing headline benchmark should be an error")
+	}
+	// A headline regexp matching nothing is a misconfigured gate.
+	if _, err := gate(base, base, regexp.MustCompile(`NoSuchBenchmark`), 0.15); err == nil {
+		t.Fatal("empty headline selection should be an error")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // JobID identifies a job. NoJob marks an idle GPU.
@@ -336,6 +337,12 @@ func (s *Schedule) NumGPUs() int { return len(s.slots) }
 // Slot returns the gene for GPU g.
 func (s *Schedule) Slot(g GPUID) Slot { return s.slots[g] }
 
+// Slots returns the genome's backing slice, one Slot per GPU in axis
+// order. Callers must treat it as read-only and must not retain it across
+// mutations; it exists so hot paths (the evolution scorer) can make one
+// pass over the genome without per-GPU method calls or copies.
+func (s *Schedule) Slots() []Slot { return s.slots }
+
 // SetSlot assigns GPU g to job j with local batch b. Passing NoJob (or a
 // non-positive batch) clears the slot.
 func (s *Schedule) SetSlot(g GPUID, j JobID, b int) {
@@ -597,24 +604,57 @@ func (s *Schedule) ServersOf(j JobID) int {
 	return n
 }
 
+// reorderScratch carries Reorder's working storage between calls. Reorder
+// runs once per evolution candidate, so the map and the slot copy used to
+// dominate the engine's allocation profile; a pool caps them at one live
+// set per concurrent caller.
+type reorderScratch struct {
+	slots []Slot        // pre-reorder copy of the genome
+	next  map[JobID]int // job → next write index during the packing pass
+	order []JobID       // jobs in first-occurrence order
+}
+
+var reorderPool = sync.Pool{
+	New: func() any { return &reorderScratch{next: make(map[JobID]int)} },
+}
+
 // Reorder packs the workers of each job contiguously, in order of each
 // job's first occurrence, preserving every job's multiset of local batch
 // sizes (the paper's reorder operation, Figure 10). Idle slots are pushed
 // to the tail.
 func (s *Schedule) Reorder() {
-	order := s.RunningJobs()
-	batches := make(map[JobID][]int, len(order))
+	sc := reorderPool.Get().(*reorderScratch)
+	defer reorderPool.Put(sc)
+	clear(sc.next)
+	sc.order = sc.order[:0]
+	// Pass 1: count each job's slots in first-occurrence order.
 	for _, sl := range s.slots {
-		if !sl.Idle() {
-			batches[sl.Job] = append(batches[sl.Job], sl.Batch)
+		if sl.Idle() {
+			continue
 		}
+		if _, ok := sc.next[sl.Job]; !ok {
+			sc.order = append(sc.order, sl.Job)
+		}
+		sc.next[sl.Job]++
 	}
+	// Turn counts into write cursors: each job packs into one contiguous
+	// span starting where the previous job's span ends.
 	idx := 0
-	for _, j := range order {
-		for _, b := range batches[j] {
-			s.slots[idx] = Slot{Job: j, Batch: b}
-			idx++
+	for _, j := range sc.order {
+		n := sc.next[j]
+		sc.next[j] = idx
+		idx += n
+	}
+	// Pass 2: replay the old genome, placing each slot at its job's cursor
+	// so every job keeps its batch multiset in slot order.
+	sc.slots = append(sc.slots[:0], s.slots...)
+	for _, sl := range sc.slots {
+		if sl.Idle() {
+			continue
 		}
+		p := sc.next[sl.Job]
+		s.slots[p] = sl
+		sc.next[sl.Job] = p + 1
 	}
 	for ; idx < len(s.slots); idx++ {
 		s.slots[idx] = Slot{Job: NoJob}

@@ -1,0 +1,50 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+// TestEvolutionParallelismGoldenResults is the golden byte-identity test
+// for intra-cell evolution parallelism: the marshaled Result of an ONES
+// cell must be identical at parallelism 1, 4, GOMAXPROCS and 0 (auto,
+// derived from free worker slots). Each setting uses a fresh Runner so
+// every run truly simulates — EvolutionParallelism is excluded from
+// CellKey, so a shared cache would short-circuit the comparison.
+func TestEvolutionParallelismGoldenResults(t *testing.T) {
+	cell := Cell{Scheduler: "ones", Capacity: 16}
+	var golden []byte
+	for _, par := range []int{1, 4, runtime.GOMAXPROCS(0), 0} {
+		p := testParams(2)
+		p.EvolutionParallelism = par
+		res, err := NewRunner(p).Result(context.Background(), cell)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		raw, err := json.Marshal(res)
+		if err != nil {
+			t.Fatalf("parallelism %d: marshal: %v", par, err)
+		}
+		if golden == nil {
+			golden = raw
+			continue
+		}
+		if string(raw) != string(golden) {
+			t.Errorf("evolution parallelism %d changed the Result bytes:\nwant %s\ngot  %s", par, golden, raw)
+		}
+	}
+}
+
+// TestCellKeyIgnoresEvolutionParallelism pins the cache-compatibility
+// contract: the knob is pure throughput, so cached cells must be shared
+// across settings.
+func TestCellKeyIgnoresEvolutionParallelism(t *testing.T) {
+	a, b := testParams(2), testParams(2)
+	b.EvolutionParallelism = 8
+	cell := Cell{Scheduler: "ones", Capacity: 16}
+	if CellKey(a, cell) != CellKey(b, cell) {
+		t.Errorf("CellKey depends on EvolutionParallelism: %q vs %q", CellKey(a, cell), CellKey(b, cell))
+	}
+}

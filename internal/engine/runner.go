@@ -331,21 +331,32 @@ func (r *Runner) simulate(ctx context.Context, c Cell) (*simulator.Result, error
 	if r.OnCellStart != nil {
 		r.OnCellStart(c)
 	}
-	// The worker pool owns all concurrency: Workers is the total CPU
-	// budget, cells are the unit of parallelism, and scheduler-internal
-	// fan-out (ONES's evolution loop) is pinned to 1 so it neither
-	// oversubscribes a busy pool nor silently un-serializes a Workers=1
-	// timing baseline. Tradeoff: a run with fewer cells than cores
-	// leaves the surplus idle — raise Workers past the cell count if
-	// you want them busy elsewhere. ONES results are identical at any
-	// Parallelism (its candidate randomness is pre-seeded serially), so
-	// this is a pure perf knob.
+	// Workers is the total CPU budget and cells are the primary unit of
+	// parallelism, but a batch with fewer cells than workers would leave
+	// the surplus idle — so the slots still free when this cell starts
+	// flow into the cell as intra-cell parallelism for ONES's evolution
+	// loop (its candidate generation fans out over goroutines). This is
+	// safe because evolution results are identical at any parallelism:
+	// candidate randomness is pre-seeded serially from the master RNG
+	// before the fan-out and selection ties break by candidate index, so
+	// the champion — and every Result byte — matches the serial run. The
+	// snapshot of free slots is taken once per cell; a busy pool yields
+	// 1 (serial, never oversubscribing), a lone cell gets every core.
+	evoPar := r.params.EvolutionParallelism
+	if evoPar <= 0 {
+		// One slot is ours (already acquired); the rest of the budget is
+		// whatever no other cell has claimed.
+		evoPar = r.workers - len(r.sem) + 1
+		if evoPar < 1 {
+			evoPar = 1
+		}
+	}
 	sched, err := schedulers.New(c.Scheduler, schedulers.Config{
 		Seed:         c.schedulerSeed(r.params.Seed),
 		ArrivalRate:  tcfg.ArrivalRate(),
 		Population:   r.params.Population,
 		MutationRate: r.params.MutationRate,
-		Parallelism:  1,
+		Parallelism:  evoPar,
 	})
 	if err != nil {
 		return nil, err

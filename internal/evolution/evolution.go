@@ -49,6 +49,14 @@ func (info *JobInfo) effLimit() int {
 }
 
 // Context carries the live cluster state into one evolution iteration.
+//
+// A Context also owns two lazily built caches — the sorted job-ID order
+// and the throughput memo — that one iteration's concurrent sub-contexts
+// share. Both assume the Jobs set, the Topo and the Throughput function
+// stay fixed for the Context's lifetime; the ONES scheduler guarantees
+// this by building a fresh Context for every scheduling decision, which
+// is also what invalidates the caches on topology changes and
+// progress-distribution refreshes.
 type Context struct {
 	Topo cluster.Topology
 	// Jobs holds every alive (running or waiting) job. Jobs absent from
@@ -58,21 +66,82 @@ type Context struct {
 	// in arrival order; refresh allocates them preferentially.
 	NewJobs []cluster.JobID
 	// Throughput returns X_j for job j at global batch B over c workers
-	// spanning `servers` servers.
+	// spanning `servers` servers. It must be pure for the Context's
+	// lifetime: evaluations are memoized per (j, B, c, servers).
 	Throughput func(j cluster.JobID, B, c, servers int) float64
 	Rng        *rand.Rand
+
+	ids  []cluster.JobID // sorted-job-ID cache; see jobIDs
+	memo *throughputMemo // shared Throughput cache; see throughput
 }
 
-// throughputOf evaluates X_j for job j as placed in schedule s.
-func (ctx *Context) throughputOf(s *cluster.Schedule, j cluster.JobID) float64 {
-	return ctx.Throughput(j, s.GlobalBatch(j), s.GPUCount(j), s.ServersOf(j))
+// throughputMemo caches Throughput evaluations for one Context. Candidate
+// genomes overwhelmingly agree on most placements — mutation and
+// crossover touch a handful of genes — so across one iteration's ~4K
+// candidates the same (job, B, c, servers) points are evaluated over and
+// over. The memo never invalidates within a Context; it is dropped with
+// it.
+type throughputMemo struct {
+	mu sync.RWMutex
+	m  map[throughputKey]float64
 }
 
-// sortedIDs returns the alive job IDs in ascending order so that random
-// draws are consumed in a deterministic sequence.
-func (ctx *Context) sortedIDs() []cluster.JobID {
-	ids := make([]cluster.JobID, 0, len(ctx.Jobs))
-	for id := range ctx.Jobs {
+// throughputKey is the full argument tuple of Context.Throughput, which
+// is pure over it for the life of a Context.
+type throughputKey struct {
+	job     cluster.JobID
+	batch   int
+	gpus    int
+	servers int
+}
+
+// throughput evaluates X_j through the Context memo (or directly when the
+// Context was never prepared — standalone operator calls in tests).
+// Safe for concurrent use.
+func (ctx *Context) throughput(j cluster.JobID, B, c, servers int) float64 {
+	mm := ctx.memo
+	if mm == nil {
+		return ctx.Throughput(j, B, c, servers)
+	}
+	k := throughputKey{job: j, batch: B, gpus: c, servers: servers}
+	mm.mu.RLock()
+	x, ok := mm.m[k]
+	mm.mu.RUnlock()
+	if ok {
+		return x
+	}
+	x = ctx.Throughput(j, B, c, servers)
+	mm.mu.Lock()
+	mm.m[k] = x
+	mm.mu.Unlock()
+	return x
+}
+
+// prepare builds the shared caches on the master Context before a
+// fan-out. Sub-contexts are struct copies, so they inherit the filled
+// pointers and all workers share one ID slice and one memo.
+func (ctx *Context) prepare() {
+	if ctx.ids == nil {
+		ctx.ids = sortIDs(ctx.Jobs)
+	}
+	if ctx.memo == nil {
+		ctx.memo = &throughputMemo{m: make(map[throughputKey]float64, 8*len(ctx.Jobs))}
+	}
+}
+
+// jobIDs returns the alive job IDs in ascending order so that random
+// draws are consumed in a deterministic sequence. The order is computed
+// once per Context (Jobs must not change within its lifetime).
+func (ctx *Context) jobIDs() []cluster.JobID {
+	if ctx.ids == nil {
+		ctx.ids = sortIDs(ctx.Jobs)
+	}
+	return ctx.ids
+}
+
+func sortIDs(jobs map[cluster.JobID]*JobInfo) []cluster.JobID {
+	ids := make([]cluster.JobID, 0, len(jobs))
+	for id := range jobs {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
@@ -84,7 +153,7 @@ func (ctx *Context) sortedIDs() []cluster.JobID {
 // same draws.
 func SampleRhos(ctx *Context) map[cluster.JobID]float64 {
 	rhos := make(map[cluster.JobID]float64, len(ctx.Jobs))
-	for _, id := range ctx.sortedIDs() {
+	for _, id := range ctx.jobIDs() {
 		rhos[id] = ctx.Jobs[id].Dist.Sample(ctx.Rng)
 	}
 	return rhos
@@ -100,6 +169,107 @@ func remainingWork(info *JobInfo, rho float64) float64 {
 	return processed * (1/rho - 1)
 }
 
+// loadMode selects how much of the genome evalScratch.load digests.
+const (
+	loadAggs = iota // per-job aggregates only (Score)
+	loadIdle        // aggregates + the idle GPU list (fill)
+	loadGPUs        // aggregates + idle + per-job GPU lists (normalize)
+)
+
+// jobAgg summarizes one running job's placement: the (c_j, B_j, servers)
+// triple Equation 2 derives from the genome, computed in one pass instead
+// of one full slot scan per query.
+type jobAgg struct {
+	id      cluster.JobID
+	c       int // GPU count c_j
+	B       int // global batch B_j
+	servers int // distinct servers spanned
+	lastSrv int // load state: last server index this job was seen on
+	gpuOff  int // offset of this job's GPU list in evalScratch.gpus
+	cur     int // load state: next write position in the GPU list
+}
+
+// evalScratch holds the reusable buffers for evaluating one candidate
+// schedule. The operators and Score used to interrogate genomes through
+// per-job O(cluster) scans (RunningJobs, GPUCount, GlobalBatch, ServersOf,
+// GPUsOf, IdleGPUs) that dominated the engine's profile; load digests the
+// genome once and the operators read these aggregates instead.
+type evalScratch struct {
+	idx  map[cluster.JobID]int // job → index into aggs
+	aggs []jobAgg              // running jobs in first-occurrence order
+	gpus []cluster.GPUID       // arena backing the per-job GPU lists
+	idle []cluster.GPUID       // idle GPUs in index order
+	buf  []cluster.GPUID       // fill's per-assignment GPU gather list
+}
+
+var scratchPool = sync.Pool{
+	New: func() any { return &evalScratch{idx: make(map[cluster.JobID]int)} },
+}
+
+// load digests schedule s: per-job aggregates in first-occurrence order,
+// plus — by mode — the idle list and per-job GPU index lists (ascending
+// within each job, exactly as GPUsOf reports them).
+func (sc *evalScratch) load(s *cluster.Schedule, mode int) {
+	clear(sc.idx)
+	sc.aggs = sc.aggs[:0]
+	sc.idle = sc.idle[:0]
+	slots := s.Slots()
+	topo := s.Topology()
+	g := 0
+	for srv := range topo.Servers {
+		for end := g + topo.Servers[srv].GPUs; g < end; g++ {
+			sl := slots[g]
+			if sl.Idle() {
+				if mode >= loadIdle {
+					sc.idle = append(sc.idle, cluster.GPUID(g))
+				}
+				continue
+			}
+			i, ok := sc.idx[sl.Job]
+			if !ok {
+				i = len(sc.aggs)
+				sc.idx[sl.Job] = i
+				sc.aggs = append(sc.aggs, jobAgg{id: sl.Job, lastSrv: -1})
+			}
+			a := &sc.aggs[i]
+			a.c++
+			a.B += sl.Batch
+			// Slots are scanned server by server, so counting distinct
+			// servers only needs the last one this job appeared on.
+			if a.lastSrv != srv {
+				a.servers++
+				a.lastSrv = srv
+			}
+		}
+	}
+	if mode < loadGPUs {
+		return
+	}
+	total := 0
+	for i := range sc.aggs {
+		sc.aggs[i].gpuOff = total
+		sc.aggs[i].cur = total
+		total += sc.aggs[i].c
+	}
+	if cap(sc.gpus) < total {
+		sc.gpus = make([]cluster.GPUID, total)
+	}
+	sc.gpus = sc.gpus[:total]
+	for g, sl := range slots {
+		if sl.Idle() {
+			continue
+		}
+		a := &sc.aggs[sc.idx[sl.Job]]
+		sc.gpus[a.cur] = cluster.GPUID(g)
+		a.cur++
+	}
+}
+
+// gpusOf returns job a's GPU list from the arena (load mode loadGPUs).
+func (sc *evalScratch) gpusOf(a *jobAgg) []cluster.GPUID {
+	return sc.gpus[a.gpuOff : a.gpuOff+a.c]
+}
+
 // Score computes the SRUF objective of Equation 8 for schedule s:
 //
 //	Σ_{j∈J_r}  Y_processed_j · c_j / X_j · (1/ρ_j − 1)
@@ -113,24 +283,27 @@ func remainingWork(info *JobInfo, rho float64) float64 {
 // remaining utilization per allocated GPU. Without this, the objective
 // would reward starving jobs of GPUs they could productively use.
 func Score(s *cluster.Schedule, ctx *Context, rhos map[cluster.JobID]float64) float64 {
+	sc := scratchPool.Get().(*evalScratch)
+	defer scratchPool.Put(sc)
+	sc.load(s, loadAggs)
 	var total float64
 	used := 0
-	for _, j := range s.RunningJobs() {
-		info, ok := ctx.Jobs[j]
+	for i := range sc.aggs {
+		a := &sc.aggs[i]
+		info, ok := ctx.Jobs[a.id]
 		if !ok {
 			continue // completed job still in genome; refresh will clean it
 		}
-		x := ctx.throughputOf(s, j)
+		x := ctx.throughput(a.id, a.B, a.c, a.servers)
 		if x <= 0 {
 			return math.Inf(1)
 		}
-		rho, ok := rhos[j]
+		rho, ok := rhos[a.id]
 		if !ok || rho <= 0 {
 			rho = 0.5
 		}
-		c := s.GPUCount(j)
-		used += c
-		total += remainingWork(info, rho) * float64(c) / x
+		used += a.c
+		total += remainingWork(info, rho) * float64(a.c) / x
 	}
 	if used > 0 {
 		total *= float64(s.NumGPUs()) / float64(used)
@@ -140,11 +313,12 @@ func Score(s *cluster.Schedule, ctx *Context, rhos map[cluster.JobID]float64) fl
 
 // assign places job j on the given GPUs with global batch B distributed as
 // evenly as integer slots allow. B is clamped to the feasible range
-// [len(gpus), len(gpus)*MaxPerGPU].
-func assign(s *cluster.Schedule, info *JobInfo, gpus []cluster.GPUID, B int) {
+// [len(gpus), len(gpus)*MaxPerGPU]; the batch actually deployed is
+// returned.
+func assign(s *cluster.Schedule, info *JobInfo, gpus []cluster.GPUID, B int) int {
 	c := len(gpus)
 	if c == 0 {
-		return
+		return 0
 	}
 	if B < c {
 		B = c
@@ -161,21 +335,26 @@ func assign(s *cluster.Schedule, info *JobInfo, gpus []cluster.GPUID, B int) {
 		}
 		s.SetSlot(g, info.ID, b)
 	}
+	return B
 }
 
 // normalize removes completed jobs from s and enforces R_j: any job with
 // B_j > R_j is scaled down by c_j − ⌊R_j·c_j/B_j⌋ GPUs (the paper's refresh
-// step 2) and its batch reassigned within the limit.
-func normalize(s *cluster.Schedule, ctx *Context) {
-	for _, j := range s.RunningJobs() {
-		info, ok := ctx.Jobs[j]
+// step 2) and its batch reassigned within the limit. The aggregates are
+// loaded once up front: each job's correction touches only its own slots,
+// so the other entries stay valid as the loop mutates s.
+func normalize(s *cluster.Schedule, ctx *Context, sc *evalScratch) {
+	sc.load(s, loadGPUs)
+	for i := range sc.aggs {
+		a := &sc.aggs[i]
+		info, ok := ctx.Jobs[a.id]
 		if !ok {
-			s.Evict(j)
+			s.Evict(a.id)
 			continue
 		}
-		gpus := s.GPUsOf(j)
-		B := s.GlobalBatch(j)
-		c := len(gpus)
+		gpus := sc.gpusOf(a)
+		B := a.B
+		c := a.c
 		target := B
 		keep := c
 		if info.Limit < B {
@@ -217,58 +396,86 @@ type fillOption struct {
 // Algorithm 1 minimization over {Δφ_j·Y_j}); any capacity still left then
 // grows running jobs toward their limits by largest sampled utilization
 // gain.
-func fill(s *cluster.Schedule, ctx *Context) {
-	for {
-		idle := s.IdleGPUs()
-		if len(idle) == 0 {
-			return
-		}
-		opt := bestFillOption(s, ctx, len(idle))
-		if opt == nil {
+//
+// The idle list is computed once and consumed incrementally: assign clamps
+// B ≥ c, so every idle GPU an option consumes receives a positive batch
+// and the remaining idle set is exactly the unconsumed suffix.
+func fill(s *cluster.Schedule, ctx *Context, sc *evalScratch) {
+	sc.load(s, loadIdle)
+	idle := sc.idle
+	for len(idle) > 0 {
+		opt, ok := bestFillOption(ctx, sc, len(idle))
+		if !ok {
 			return
 		}
 		info := ctx.Jobs[opt.job]
-		gpus := append(s.GPUsOf(opt.job), idle[:opt.gpus]...)
-		assign(s, info, gpus, opt.batch)
+		// Gather the job's current GPUs (index order) followed by the
+		// consumed idle prefix — the same list the per-query scans built.
+		sc.buf = sc.buf[:0]
+		if i, ok := sc.idx[opt.job]; ok && sc.aggs[i].c > 0 {
+			for g, sl := range s.Slots() {
+				if sl.Job == opt.job {
+					sc.buf = append(sc.buf, cluster.GPUID(g))
+				}
+			}
+		}
+		sc.buf = append(sc.buf, idle[:opt.gpus]...)
+		B := assign(s, info, sc.buf, opt.batch)
+		// Refresh the job's aggregate in place; no other job's slots moved.
+		i, ok := sc.idx[opt.job]
+		if !ok {
+			i = len(sc.aggs)
+			sc.idx[opt.job] = i
+			sc.aggs = append(sc.aggs, jobAgg{id: opt.job})
+		}
+		a := &sc.aggs[i]
+		a.c = len(sc.buf)
+		a.B = B
+		a.servers = s.ServersOf(opt.job)
+		idle = idle[opt.gpus:]
 	}
 }
 
 // bestFillOption returns the next fill action: the waiting job with the
 // least sampled remaining work if any can start, else the growth with the
-// largest sampled gain, else nil.
-func bestFillOption(s *cluster.Schedule, ctx *Context, idle int) *fillOption {
-	var bestResume, bestGrow *fillOption
-	for _, id := range ctx.sortedIDs() {
+// largest sampled gain.
+func bestFillOption(ctx *Context, sc *evalScratch, idle int) (fillOption, bool) {
+	var bestResume, bestGrow fillOption
+	var haveResume, haveGrow bool
+	for _, id := range ctx.jobIDs() {
 		info := ctx.Jobs[id]
-		opt := expandOption(s, ctx, info, idle)
-		if opt == nil {
+		opt, ok := expandOption(ctx, sc, info, idle)
+		if !ok {
 			continue
 		}
 		rho := info.Dist.Sample(ctx.Rng)
 		work := remainingWork(info, rho)
 		if opt.resume {
 			opt.score *= work // remaining seconds at the resume rate
-			if bestResume == nil || opt.score < bestResume.score {
-				bestResume = opt
+			if !haveResume || opt.score < bestResume.score {
+				bestResume, haveResume = opt, true
 			}
 		} else {
 			opt.score *= work // throughput gain weighted by remaining work
-			if opt.score > 0 && (bestGrow == nil || opt.score > bestGrow.score) {
-				bestGrow = opt
+			if opt.score > 0 && (!haveGrow || opt.score > bestGrow.score) {
+				bestGrow, haveGrow = opt, true
 			}
 		}
 	}
-	if bestResume != nil {
-		return bestResume
+	if haveResume {
+		return bestResume, true
 	}
-	return bestGrow
+	return bestGrow, haveGrow
 }
 
-// expandOption builds the expansion candidate for one job, or nil when the
-// job cannot use more resources.
-func expandOption(s *cluster.Schedule, ctx *Context, info *JobInfo, idle int) *fillOption {
-	c := s.GPUCount(info.ID)
-	B := s.GlobalBatch(info.ID)
+// expandOption builds the expansion candidate for one job from the loaded
+// aggregates, or reports false when the job cannot use more resources.
+func expandOption(ctx *Context, sc *evalScratch, info *JobInfo, idle int) (fillOption, bool) {
+	var c, B, servers int
+	if i, ok := sc.idx[info.ID]; ok {
+		a := &sc.aggs[i]
+		c, B, servers = a.c, a.B, a.servers
+	}
 	if c == 0 {
 		// Waiting job: resume on one GPU within its limit. Its added
 		// utilization is its whole remaining footprint at that rate.
@@ -279,21 +486,21 @@ func expandOption(s *cluster.Schedule, ctx *Context, info *JobInfo, idle int) *f
 		if batch < 1 {
 			batch = 1
 		}
-		x := ctx.Throughput(info.ID, batch, 1, 1)
+		x := ctx.throughput(info.ID, batch, 1, 1)
 		if x <= 0 {
-			return nil
+			return fillOption{}, false
 		}
-		return &fillOption{job: info.ID, gpus: 1, batch: batch, resume: true, score: 1 / x}
+		return fillOption{job: info.ID, gpus: 1, batch: batch, resume: true, score: 1 / x}, true
 	}
 	limit := info.effLimit()
 	if B >= limit {
-		return nil // already at the limit
+		return fillOption{}, false // already at the limit
 	}
 	// Running job: grow to R_j with ⌊R·c/B⌋ − c extra GPUs (Figure 7).
 	newC := limit * c / B
 	extra := newC - c
 	if extra < 1 {
-		return nil
+		return fillOption{}, false
 	}
 	if extra > idle {
 		extra = idle
@@ -303,29 +510,41 @@ func expandOption(s *cluster.Schedule, ctx *Context, info *JobInfo, idle int) *f
 	if maxB := newC * info.MaxPerGPU; newB > maxB {
 		newB = maxB
 	}
-	servers := ctx.Topo.NumServers()
-	if servers > 1 && newC <= ctx.Topo.MaxServerGPUs() {
-		servers = 1
+	srv := ctx.Topo.NumServers()
+	if srv > 1 && newC <= ctx.Topo.MaxServerGPUs() {
+		srv = 1
 	}
 	// Growth utility: absolute throughput gained per added GPU. Growth
 	// that does not increase throughput is pointless — skip it.
-	oldX := ctx.throughputOf(s, info.ID)
-	newX := ctx.Throughput(info.ID, newB, newC, servers)
+	oldX := ctx.throughput(info.ID, B, c, servers)
+	newX := ctx.throughput(info.ID, newB, newC, srv)
 	if newX <= oldX || newX <= 0 {
-		return nil
+		return fillOption{}, false
 	}
 	gain := (newX - oldX) / float64(extra)
-	return &fillOption{job: info.ID, gpus: extra, batch: newB, score: gain}
+	return fillOption{job: info.ID, gpus: extra, batch: newB, score: gain}, true
 }
+
+// cloneFunc produces the working copy an operator mutates. The engine
+// substitutes a pool-backed clone that recycles retired candidates.
+type cloneFunc func(*cluster.Schedule) *cluster.Schedule
+
+func cloneSchedule(s *cluster.Schedule) *cluster.Schedule { return s.Clone() }
 
 // Refresh applies the paper's refresh operation to a clone of s: clean up
 // completed jobs, enforce limits, allocate new jobs preferentially (taking
 // GPUs from the longest-running jobs if needed), then fill idle GPUs.
 func Refresh(s *cluster.Schedule, ctx *Context) *cluster.Schedule {
-	out := s.Clone()
-	normalize(out, ctx)
+	sc := scratchPool.Get().(*evalScratch)
+	defer scratchPool.Put(sc)
+	return refreshWith(s, ctx, cloneSchedule, sc)
+}
+
+func refreshWith(s *cluster.Schedule, ctx *Context, clone cloneFunc, sc *evalScratch) *cluster.Schedule {
+	out := clone(s)
+	normalize(out, ctx, sc)
 	allocateNewJobs(out, ctx)
-	fill(out, ctx)
+	fill(out, ctx, sc)
 	return out
 }
 
@@ -405,7 +624,13 @@ func shrinkByOne(s *cluster.Schedule, ctx *Context, j cluster.JobID) {
 // parent B's, with the orientation chosen by an independent fair coin.
 // Children are normalized and filled so they remain feasible.
 func Crossover(a, b *cluster.Schedule, ctx *Context) (*cluster.Schedule, *cluster.Schedule) {
-	c1, c2 := a.Clone(), b.Clone()
+	sc := scratchPool.Get().(*evalScratch)
+	defer scratchPool.Put(sc)
+	return crossoverWith(a, b, ctx, cloneSchedule, sc)
+}
+
+func crossoverWith(a, b *cluster.Schedule, ctx *Context, clone cloneFunc, sc *evalScratch) (*cluster.Schedule, *cluster.Schedule) {
+	c1, c2 := clone(a), clone(b)
 	for g := 0; g < c1.NumGPUs(); g++ {
 		if ctx.Rng.Intn(2) == 0 {
 			continue
@@ -415,10 +640,10 @@ func Crossover(a, b *cluster.Schedule, ctx *Context) (*cluster.Schedule, *cluste
 		c1.SetSlot(cluster.GPUID(g), gb.Job, gb.Batch)
 		c2.SetSlot(cluster.GPUID(g), ga.Job, ga.Batch)
 	}
-	normalize(c1, ctx)
-	normalize(c2, ctx)
-	fill(c1, ctx)
-	fill(c2, ctx)
+	normalize(c1, ctx, sc)
+	normalize(c2, ctx, sc)
+	fill(c1, ctx, sc)
+	fill(c2, ctx, sc)
 	return c1, c2
 }
 
@@ -426,14 +651,21 @@ func Crossover(a, b *cluster.Schedule, ctx *Context) (*cluster.Schedule, *cluste
 // running job is preempted with probability theta and the freed GPUs are
 // refilled with waiting or other running jobs.
 func Mutate(s *cluster.Schedule, ctx *Context, theta float64) *cluster.Schedule {
-	out := s.Clone()
-	for _, j := range out.RunningJobs() {
+	sc := scratchPool.Get().(*evalScratch)
+	defer scratchPool.Put(sc)
+	return mutateWith(s, ctx, theta, cloneSchedule, sc)
+}
+
+func mutateWith(s *cluster.Schedule, ctx *Context, theta float64, clone cloneFunc, sc *evalScratch) *cluster.Schedule {
+	out := clone(s)
+	sc.load(out, loadAggs)
+	for i := range sc.aggs {
 		if ctx.Rng.Float64() < theta {
-			out.Evict(j)
+			out.Evict(sc.aggs[i].id)
 		}
 	}
-	normalize(out, ctx)
-	fill(out, ctx)
+	normalize(out, ctx, sc)
+	fill(out, ctx, sc)
 	return out
 }
 
@@ -464,6 +696,36 @@ type Engine struct {
 	Cancel func() bool
 
 	pop []*cluster.Schedule
+
+	// Per-Iterate working storage, reused across rounds.
+	tasks  []genTask
+	cands  []*cluster.Schedule
+	scores []float64
+	order  []int
+	// clonePool recycles the genomes of candidates that lost selection as
+	// the backing storage for the next round's clones. Only rejected
+	// candidates enter the pool: the selected population — including the
+	// returned champion — may be retained by callers and is never reused.
+	clonePool sync.Pool
+}
+
+// genTask describes one pre-seeded candidate generation: the parent
+// picks and a dedicated RNG seed are drawn serially from the master RNG,
+// so the fan-out may execute the tasks in any order — or in parallel —
+// without changing any output.
+type genTask struct {
+	kind int // 0 refresh, 1 crossover pair, 2 mutate
+	a, b *cluster.Schedule
+	seed int64
+	outA int // candidate slot(s)
+	outB int
+}
+
+// rngPool recycles the per-task *rand.Rand. Seed fully resets the source
+// state, so a recycled generator re-seeded with t.seed yields exactly the
+// stream rand.New(rand.NewSource(t.seed)) would.
+var rngPool = sync.Pool{
+	New: func() any { return rand.New(rand.NewSource(0)) },
 }
 
 // cancelled reports whether the optional cancellation probe fired.
@@ -491,6 +753,17 @@ func (e *Engine) Init(ctx *Context) {
 	}
 }
 
+// clone returns a working copy of s for a new candidate, reusing a
+// rejected candidate's storage when one is available.
+func (e *Engine) clone(s *cluster.Schedule) *cluster.Schedule {
+	if v := e.clonePool.Get(); v != nil {
+		c := v.(*cluster.Schedule)
+		c.CopyFrom(s)
+		return c
+	}
+	return s.Clone()
+}
+
 // Iterate runs one evolution round: derive candidates from the current
 // population with the four operators, select the best K by sampled score,
 // and return the champion S*.
@@ -501,46 +774,48 @@ func (e *Engine) Iterate(ctx *Context) *cluster.Schedule {
 	if len(e.pop) == 0 || !e.pop[0].Topology().Equal(ctx.Topo) {
 		e.Init(ctx)
 	}
+	ctx.prepare()
 	// Describe every candidate generation serially (parent choices and a
 	// dedicated RNG seed come from the master RNG) so the fan-out below is
 	// free to run in any order.
-	type task struct {
-		kind int // 0 refresh, 1 crossover pair, 2 mutate
-		a, b *cluster.Schedule
-		seed int64
-		outA int // candidate slot(s)
-		outB int
-	}
 	nCand := len(e.pop) + 2*e.K + e.K
-	tasks := make([]task, 0, len(e.pop)+e.K+e.K)
+	tasks := e.tasks[:0]
 	slot := 0
 	for _, s := range e.pop {
-		tasks = append(tasks, task{kind: 0, a: s, seed: ctx.Rng.Int63(), outA: slot})
+		tasks = append(tasks, genTask{kind: 0, a: s, seed: ctx.Rng.Int63(), outA: slot})
 		slot++
 	}
 	for i := 0; i < e.K; i++ {
 		a := e.pop[ctx.Rng.Intn(len(e.pop))]
 		b := e.pop[ctx.Rng.Intn(len(e.pop))]
-		tasks = append(tasks, task{kind: 1, a: a, b: b, seed: ctx.Rng.Int63(), outA: slot, outB: slot + 1})
+		tasks = append(tasks, genTask{kind: 1, a: a, b: b, seed: ctx.Rng.Int63(), outA: slot, outB: slot + 1})
 		slot += 2
 	}
 	for i := 0; i < e.K; i++ {
 		a := e.pop[ctx.Rng.Intn(len(e.pop))]
-		tasks = append(tasks, task{kind: 2, a: a, seed: ctx.Rng.Int63(), outA: slot})
+		tasks = append(tasks, genTask{kind: 2, a: a, seed: ctx.Rng.Int63(), outA: slot})
 		slot++
 	}
-	candidates := make([]*cluster.Schedule, nCand)
-	runTask := func(t task) {
+	e.tasks = tasks
+	if cap(e.cands) < nCand {
+		e.cands = make([]*cluster.Schedule, nCand)
+	}
+	candidates := e.cands[:nCand]
+	clone := e.clone
+	runTask := func(t genTask) {
+		rng := rngPool.Get().(*rand.Rand)
+		rng.Seed(t.seed)
+		sc := scratchPool.Get().(*evalScratch)
 		sub := *ctx
-		sub.Rng = rand.New(rand.NewSource(t.seed))
+		sub.Rng = rng
 		switch t.kind {
 		case 0:
-			candidates[t.outA] = Refresh(t.a, &sub)
+			candidates[t.outA] = refreshWith(t.a, &sub, clone, sc)
 		case 1:
-			c1, c2 := Crossover(t.a, t.b, &sub)
+			c1, c2 := crossoverWith(t.a, t.b, &sub, clone, sc)
 			candidates[t.outA], candidates[t.outB] = c1, c2
 		default:
-			candidates[t.outA] = Mutate(t.a, &sub, e.Theta)
+			candidates[t.outA] = mutateWith(t.a, &sub, e.Theta, clone, sc)
 		}
 		if !e.DisableReorder {
 			candidates[t.outA].Reorder()
@@ -548,11 +823,13 @@ func (e *Engine) Iterate(ctx *Context) *cluster.Schedule {
 				candidates[t.outB].Reorder()
 			}
 		}
+		scratchPool.Put(sc)
+		rngPool.Put(rng)
 	}
 	e.forEach(len(tasks), func(i int) { runTask(tasks[i]) })
 	if e.cancelled() {
 		// The probe is monotonic, so firing here proves some workers may
-		// have skipped tasks: candidate slots can be nil and must not be
+		// have skipped tasks: candidate slots can be stale and must not be
 		// scored. Keep the population and return the incumbent champion.
 		return e.pop[0]
 	}
@@ -560,9 +837,18 @@ func (e *Engine) Iterate(ctx *Context) *cluster.Schedule {
 	// Selection: score all candidates against one set of progress draws,
 	// keep the best K.
 	rhos := e.progressDraws(ctx)
-	scores := make([]float64, nCand)
+	if cap(e.scores) < nCand {
+		e.scores = make([]float64, nCand)
+	}
+	scores := e.scores[:nCand]
 	e.forEach(nCand, func(i int) { scores[i] = Score(candidates[i], ctx, rhos) })
-	order := make([]int, nCand)
+	if e.cancelled() {
+		return e.pop[0]
+	}
+	if cap(e.order) < nCand {
+		e.order = make([]int, nCand)
+	}
+	order := e.order[:nCand]
 	for i := range order {
 		order[i] = i
 	}
@@ -574,6 +860,11 @@ func (e *Engine) Iterate(ctx *Context) *cluster.Schedule {
 	next := make([]*cluster.Schedule, keep)
 	for i := 0; i < keep; i++ {
 		next[i] = candidates[order[i]]
+	}
+	// Retire the rejected candidates into the clone pool. They were all
+	// created inside this round, so no caller can hold a reference.
+	for i := keep; i < nCand; i++ {
+		e.clonePool.Put(candidates[order[i]])
 	}
 	e.pop = next
 	return e.pop[0]

@@ -1,8 +1,10 @@
 package evolution
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -367,6 +369,12 @@ func TestEngineChampionInvariantsProperty(t *testing.T) {
 	}
 }
 
+// TestEngineParallelMatchesSerial is the determinism matrix for parallel
+// candidate generation: at parallelism 1, 4 and GOMAXPROCS the champion
+// genome, the whole population and every sampled score must be
+// byte-identical — the fan-out must never change a result, only wall
+// time. Run under -race this also exercises the shared throughput memo
+// and the scratch/RNG pools from concurrent workers.
 func TestEngineParallelMatchesSerial(t *testing.T) {
 	run := func(parallelism int) string {
 		topo := cluster.Uniform(2, 4)
@@ -377,11 +385,57 @@ func TestEngineParallelMatchesSerial(t *testing.T) {
 		for i := 0; i < 5; i++ {
 			best = e.Iterate(ctx)
 		}
-		return best.String()
+		// Snapshot everything selection produced: champion, population
+		// order, and scores under one deterministic draw set. The master
+		// RNG consumed an identical stream at any parallelism, so these
+		// draws line up across runs too.
+		rhos := SampleRhos(ctx)
+		out := "champion=" + best.String() + "\n"
+		for i, s := range e.Population() {
+			out += fmt.Sprintf("pop[%d] score=%v genome=%s\n", i, Score(s, ctx, rhos), s)
+		}
+		return out
 	}
 	serial := run(1)
-	parallel := run(8)
-	if serial != parallel {
-		t.Errorf("parallel iteration changed the champion:\nserial:   %s\nparallel: %s", serial, parallel)
+	for _, par := range []int{4, runtime.GOMAXPROCS(0)} {
+		if got := run(par); got != serial {
+			t.Errorf("parallelism %d changed the outcome:\nserial:\n%s\nparallel:\n%s", par, serial, got)
+		}
+	}
+}
+
+// TestScoreMemoMatchesRecompute is the memo soundness property: across
+// 1000 random mutate/crossover candidates, Score through a prepared
+// (memoized) Context must equal Score through a bare Context that
+// recomputes every throughput directly. Equality is exact — the memo
+// stores the very float64 the direct call returns.
+func TestScoreMemoMatchesRecompute(t *testing.T) {
+	topo := cluster.Uniform(4, 4)
+	ctx := testCtx(123, 10, topo)
+	ctx.prepare()
+	if ctx.memo == nil {
+		t.Fatal("prepare did not install the throughput memo")
+	}
+	// A bare context over the same jobs and throughput function: memo
+	// nil ⇒ every Score recomputes from scratch.
+	plain := &Context{Topo: ctx.Topo, Jobs: ctx.Jobs, Throughput: ctx.Throughput}
+	pop := []*cluster.Schedule{
+		Refresh(cluster.NewSchedule(topo), ctx),
+		Refresh(cluster.NewSchedule(topo), ctx),
+	}
+	for i := 0; i < 1000; i++ {
+		var cand *cluster.Schedule
+		if i%2 == 0 {
+			cand = Mutate(pop[i/2%2], ctx, 0.3)
+		} else {
+			cand, _ = Crossover(pop[0], pop[1], ctx)
+		}
+		rhos := SampleRhos(ctx)
+		memoized := Score(cand, ctx, rhos)
+		direct := Score(cand, plain, rhos)
+		if memoized != direct {
+			t.Fatalf("step %d: memoized score %v != recomputed %v", i, memoized, direct)
+		}
+		pop[i%2] = cand
 	}
 }

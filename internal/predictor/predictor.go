@@ -99,6 +99,17 @@ type Predictor struct {
 	reservoir []Sample
 	seen      int // total samples offered (for reservoir sampling)
 	fits      int // number of refits performed
+
+	fitScratch []fitSample // reused per-fit cache of weight-independent terms
+}
+
+// fitSample caches the per-sample terms of the likelihood gradient that do
+// not depend on the weights: the standardized feature vector, α and
+// ln(1−ρ). They are constant across one fit's gradient iterations.
+type fitSample struct {
+	z           [NumFeatures]float64
+	alpha       float64
+	logOneMinus float64
 }
 
 // New returns a predictor seeded deterministically.
@@ -175,23 +186,38 @@ func (p *Predictor) fitLocked() {
 	}
 	p.standardizeLocked()
 
+	// Per-sample quantities that do not depend on the weights — the
+	// standardized features, α and ln(1−ρ) — are invariant across the
+	// gradient iterations (mean/std are fixed for this fit), so hoist
+	// them out of the loop instead of recomputing them FitIters times.
+	if cap(p.fitScratch) < len(p.reservoir) {
+		p.fitScratch = make([]fitSample, len(p.reservoir))
+	}
+	cached := p.fitScratch[:len(p.reservoir)]
+	for i, s := range p.reservoir {
+		cached[i] = fitSample{
+			z:           p.normalizeLocked(s.X.vector()),
+			alpha:       alphaOf(s.X),
+			logOneMinus: math.Log(1 - s.Progress),
+		}
+	}
+
 	n := float64(len(p.reservoir))
 	for iter := 0; iter < p.cfg.FitIters; iter++ {
 		var gradW [NumFeatures]float64
 		var gradB float64
-		for _, s := range p.reservoir {
-			z := p.normalizeLocked(s.X.vector())
-			alpha := alphaOf(s.X)
+		for i := range cached {
+			s := &cached[i]
 			lin := p.bias
-			for i, zi := range z {
+			for i, zi := range s.z {
 				lin += p.weights[i] * zi
 			}
 			if lin < 1 {
 				continue // clamped: zero gradient
 			}
 			beta := lin
-			g := math.Log(1-s.Progress) - mathx.Digamma(beta) + mathx.Digamma(alpha+beta)
-			for i, zi := range z {
+			g := s.logOneMinus - mathx.Digamma(beta) + mathx.Digamma(s.alpha+beta)
+			for i, zi := range s.z {
 				gradW[i] += g * zi
 			}
 			gradB += g

@@ -9,11 +9,9 @@
 package simulator
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math"
-	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/perfmodel"
@@ -336,32 +334,6 @@ type event struct {
 	seq  int // epoch-event validity sequence, or capacity-timeline index
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int      { return len(h) }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	if h[i].kind != h[j].kind {
-		return h[i].kind < h[j].kind
-	}
-	if h[i].job != h[j].job {
-		return h[i].job < h[j].job
-	}
-	// Same-time capacity events must apply in timeline index order.
-	return h[i].seq < h[j].seq
-}
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
 // ctxPollEvery is how many simulation events pass between context
 // checks in the main loop. Polling every event would also be correct,
 // but a stride keeps the check invisible on the hot path while still
@@ -382,7 +354,7 @@ type engine struct {
 	jobs    map[cluster.JobID]*jobState
 	order   []cluster.JobID // arrival order of alive job IDs
 	current *cluster.Schedule
-	events  eventHeap
+	events  *eventQueue
 
 	// Decide-path buffers, reused across decision points so the hot loop
 	// does not re-allocate a View, job slice and schedule clone per event.
@@ -406,11 +378,6 @@ type engine struct {
 	metrics     []JobMetric
 	eventLog    []Event
 }
-
-// eventHeapPool recycles event-heap backing arrays across runs: a
-// parallel experiment sweep multiplies allocation pressure, and the heap
-// is the one simulation-length buffer every run needs.
-var eventHeapPool = sync.Pool{New: func() any { return new(eventHeap) }}
 
 // Run simulates the trace under the scheduler and returns per-job metrics.
 func Run(cfg Config, sched Scheduler) (*Result, error) {
@@ -441,7 +408,8 @@ func RunContext(ctx context.Context, cfg Config, sched Scheduler) (*Result, erro
 	if ca, ok := sched.(CancelAware); ok {
 		ca.SetCancel(func() bool { return ctx.Err() != nil })
 	}
-	hp := eventHeapPool.Get().(*eventHeap)
+	q := eventQueuePool.Get().(*eventQueue)
+	q.ev = q.ev[:0]
 	e := &engine{
 		cfg:     cfg,
 		sched:   sched,
@@ -449,12 +417,12 @@ func RunContext(ctx context.Context, cfg Config, sched Scheduler) (*Result, erro
 		topo:    cfg.Topo,
 		jobs:    make(map[cluster.JobID]*jobState, len(cfg.Trace.Jobs)),
 		current: cluster.NewSchedule(cfg.Topo),
-		events:  (*hp)[:0],
+		events:  q,
 		metrics: make([]JobMetric, 0, len(cfg.Trace.Jobs)),
 	}
 	defer func() {
-		*hp = e.events[:0]
-		eventHeapPool.Put(hp)
+		q.ev = q.ev[:0]
+		eventQueuePool.Put(q)
 	}()
 	for _, j := range cfg.Trace.Jobs {
 		id := cluster.JobID(j.ID)
@@ -475,10 +443,10 @@ func RunContext(ctx context.Context, cfg Config, sched Scheduler) (*Result, erro
 			return nil, fmt.Errorf("simulator: job %d: %w", j.ID, err)
 		}
 		e.jobs[id] = &jobState{spec: j, trainer: tr, firstStart: -1}
-		heap.Push(&e.events, event{t: j.Submit, kind: evArrival, job: id})
+		e.events.push(event{t: j.Submit, kind: evArrival, job: id})
 	}
 	if iv := sched.TickInterval(); iv > 0 {
-		heap.Push(&e.events, event{t: iv, kind: evTick})
+		e.events.push(event{t: iv, kind: evTick})
 	}
 	if len(cfg.Capacity) > 0 {
 		e.restockable = make(map[scenario.CapacityEventKind][]cluster.ServerSpec)
@@ -489,7 +457,7 @@ func RunContext(ctx context.Context, cfg Config, sched Scheduler) (*Result, erro
 				i, cev.Time, cfg.Capacity[i-1].Time)
 		}
 		if cev.Time <= cfg.MaxTime {
-			heap.Push(&e.events, event{t: cev.Time, kind: evCapacity, seq: i})
+			e.events.push(event{t: cev.Time, kind: evCapacity, seq: i})
 		}
 	}
 	if err := e.loop(); err != nil {
@@ -527,14 +495,14 @@ func RunContext(ctx context.Context, cfg Config, sched Scheduler) (*Result, erro
 }
 
 func (e *engine) loop() error {
-	for e.events.Len() > 0 {
+	for e.events.len() > 0 {
 		if e.polls++; e.polls >= ctxPollEvery {
 			e.polls = 0
 			if err := e.ctx.Err(); err != nil {
 				return err
 			}
 		}
-		ev := heap.Pop(&e.events).(event)
+		ev := e.events.pop()
 		if ev.t > e.cfg.MaxTime {
 			return nil
 		}
@@ -574,7 +542,7 @@ func (e *engine) loop() error {
 				return err
 			}
 			if alive := e.aliveCount(); alive > 0 || e.pendingArrivals() {
-				heap.Push(&e.events, event{t: e.now + e.sched.TickInterval(), kind: evTick})
+				e.events.push(event{t: e.now + e.sched.TickInterval(), kind: evTick})
 			}
 		case evCapacity:
 			if e.applyCapacity(e.cfg.Capacity[ev.seq]) {
@@ -681,7 +649,7 @@ func (e *engine) scheduleEpochEnd(id cluster.JobID) {
 		t = start + 1e-6
 	}
 	js.seq++
-	heap.Push(&e.events, event{t: t, kind: evEpochEnd, job: id, seq: js.seq})
+	e.events.push(event{t: t, kind: evEpochEnd, job: id, seq: js.seq})
 }
 
 // applyCapacity mutates the live topology per one scenario event:

@@ -119,6 +119,22 @@ func WithWorkers(n int) Option {
 	}
 }
 
+// WithEvolutionParallelism bounds the goroutines ONES's evolutionary
+// search uses inside one simulation cell (0 or unset ⇒ derive from the
+// worker slots free when the cell starts; n ⇒ exactly n). Like
+// WithWorkers this is purely a throughput knob — candidate randomness is
+// pre-seeded serially before the fan-out, so results are byte-identical
+// at any setting and cached cells are shared across settings.
+func WithEvolutionParallelism(n int) Option {
+	return func(s *settings) {
+		if n < 0 {
+			s.fail(fmt.Errorf("ones: WithEvolutionParallelism(%d): negative parallelism", n))
+			return
+		}
+		s.params.EvolutionParallelism = n
+	}
+}
+
 // WithPopulation overrides ONES's evolutionary population size K.
 // Smaller populations run faster with slightly noisier search.
 func WithPopulation(k int) Option {
