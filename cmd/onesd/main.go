@@ -11,6 +11,14 @@
 //	curl -s localhost:8080/v1/runs/run-000001
 //	curl -sN localhost:8080/v1/runs/run-000001/stream
 //	curl -s -X DELETE localhost:8080/v1/runs/run-000001
+//	curl -s localhost:8080/metrics
+//	curl -s localhost:8080/v1/runs/run-000001/trace
+//
+// Every daemon serves Prometheus metrics on GET /metrics (engine, cache,
+// evolution and HTTP series — see DESIGN.md "Observability"), per-run
+// span traces on GET /v1/runs/{id}/trace, liveness on GET /healthz and
+// readiness on GET /readyz (503 once shutdown begins). -pprof
+// additionally mounts the Go profiler under /debug/pprof/.
 //
 // See cmd/onesd/README.md for the full endpoint reference and
 // DESIGN.md ("Network service") for cache layout and cancellation
@@ -25,6 +33,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -36,9 +45,10 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		cacheDir = flag.String("cache-dir", "", "persist completed simulation cells here (empty: shared in-memory cache only)")
-		timeout  = flag.Duration("shutdown-timeout", 30*time.Second, "grace period for in-flight runs on shutdown")
+		addr      = flag.String("addr", ":8080", "listen address")
+		cacheDir  = flag.String("cache-dir", "", "persist completed simulation cells here (empty: shared in-memory cache only)")
+		timeout   = flag.Duration("shutdown-timeout", 30*time.Second, "grace period for in-flight runs on shutdown")
+		withPprof = flag.Bool("pprof", false, "serve Go profiling endpoints under /debug/pprof/")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "onesd: ", log.LstdFlags)
@@ -51,8 +61,23 @@ func main() {
 		logger.Printf("persisting cells to %s", *cacheDir)
 	}
 
-	srv := serve.New(cache, logger)
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	metrics := ones.NewMetrics()
+	srv := serve.New(cache, logger, serve.WithMetrics(metrics))
+	handler := srv.Handler()
+	if *withPprof {
+		// Mount the profiler on an outer mux so the API handler stays
+		// unaware of it; /debug/pprof/ is index + named profiles.
+		outer := http.NewServeMux()
+		outer.Handle("/", handler)
+		outer.HandleFunc("GET /debug/pprof/", pprof.Index)
+		outer.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		handler = outer
+		logger.Printf("profiling enabled under /debug/pprof/")
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

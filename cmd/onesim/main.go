@@ -11,6 +11,8 @@
 //	onesim -topology 4x8,2x4 -scenario rack-drain   # mixed fleet, rack failure
 //	onesim -sched ones -json | jq .mean_jct_s
 //	onesim -cache-dir ~/.cache/onesim -sched ones   # rerun is instant
+//	onesim -sched ones -v                           # per-cell progress on stderr
+//	onesim -sched ones -metrics 2>&1 >/dev/null     # Prometheus dump on stderr
 //
 // With -json every outcome is machine-readable: success prints the full
 // result object, and any failure (unknown scheduler or scenario, run
@@ -21,6 +23,14 @@
 // The process exits non-zero on error; Ctrl-C cancels the run cleanly —
 // mid-cell, within sub-second latency. With -cache-dir, completed runs
 // persist and identical reruns are served from disk, byte-identical.
+//
+// -v streams per-cell progress lines to stderr while the run executes
+// and closes with a one-line summary (cells, cache hits, wall time).
+// -metrics dumps the session's telemetry registry as Prometheus text to
+// stderr after the run — the same series onesd serves on GET /metrics.
+// Both write only to stderr, so they compose with -json pipelines, and
+// neither perturbs the simulation: results are byte-identical with or
+// without them (see DESIGN.md "Observability").
 package main
 
 import (
@@ -33,6 +43,8 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/pkg/ones"
 )
@@ -60,6 +72,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		evoParallel  = fs.Int("evo-parallel", 0, "goroutines for ONES's in-cell evolution (0 = derive from free workers); results are identical at any setting")
 		cacheDir     = fs.String("cache-dir", "", "persist completed runs here; identical reruns load instead of simulating")
 		verbose      = fs.Bool("verbose", false, "print per-job metrics")
+		progressV    = fs.Bool("v", false, "stream per-cell progress lines to stderr, ending with a one-line summary")
+		dumpMetrics  = fs.Bool("metrics", false, "dump the run's telemetry as Prometheus text to stderr after the run")
 		events       = fs.Bool("events", false, "print the scheduling event log")
 		asJSON       = fs.Bool("json", false, "emit the full result (or an {\"error\": ...} object) as JSON for scripting")
 	)
@@ -93,11 +107,29 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		opts = append(opts, ones.WithCache(cache))
 	}
+	var prog *progressPrinter
+	if *progressV {
+		prog = &progressPrinter{w: stderr}
+		opts = append(opts, ones.WithObserver(prog))
+	}
+	var metrics *ones.Metrics
+	if *dumpMetrics {
+		metrics = ones.NewMetrics()
+		opts = append(opts, ones.WithMetrics(metrics))
+	}
 	s, err := ones.New(opts...)
 	if err != nil {
 		return fail(stdout, stderr, *asJSON, err)
 	}
 	res, err := s.Run(ctx)
+	if prog != nil {
+		prog.summary()
+	}
+	if metrics != nil {
+		// Dump on every outcome: a failed or cancelled run's counters are
+		// exactly when the telemetry is most interesting.
+		metrics.WritePrometheus(stderr)
+	}
 	if err != nil {
 		return fail(stdout, stderr, *asJSON, err)
 	}
@@ -149,6 +181,64 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// progressPrinter implements ones.Observer for -v: one stderr line per
+// cell lifecycle event while the run executes, then a one-line summary
+// (cells, cache hits, wall time). Events can arrive from several worker
+// goroutines, so the counters sit behind a mutex. Cached cells emit no
+// cell events — they surface only as a jump in Done — which is how the
+// summary separates cache hits from simulated cells.
+type progressPrinter struct {
+	w io.Writer
+
+	mu       sync.Mutex
+	executed int           // cells that actually simulated (cell-done events)
+	total    int           // cells the batch planned (run-done)
+	finished bool          // run-done arrived: every planned cell completed
+	elapsed  time.Duration // run wall time (run-done)
+}
+
+// Observe implements ones.Observer.
+func (p *progressPrinter) Observe(ev ones.Progress) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch ev.Kind {
+	case ones.KindRunStart:
+		fmt.Fprintf(p.w, "onesim: run started: %d cell(s) planned\n", ev.Total)
+	case ones.KindCellStart:
+		fmt.Fprintf(p.w, "onesim: cell %s simulating\n", ev.Cell)
+	case ones.KindCellDone:
+		p.executed++
+		fmt.Fprintf(p.w, "onesim: cell %s done in %.1fs (%d/%d)\n",
+			ev.Cell, ev.Elapsed.Seconds(), ev.Done, ev.Total)
+	case ones.KindExperimentStart:
+		fmt.Fprintf(p.w, "onesim: experiment %s started\n", ev.Experiment)
+	case ones.KindExperimentDone:
+		fmt.Fprintf(p.w, "onesim: experiment %s done in %.1fs\n", ev.Experiment, ev.Elapsed.Seconds())
+	case ones.KindRunDone:
+		p.total, p.elapsed, p.finished = ev.Total, ev.Elapsed, true
+	}
+}
+
+// summary prints the closing one-liner after the run returns. A planned
+// cell that finished without simulating (no cell events) was served from
+// the cache — memory or disk — so hits fall out as total − simulated on
+// a completed run. An aborted run never reaches run-done; its partial
+// count is reported without guessing at cache attribution.
+func (p *progressPrinter) summary() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.finished {
+		fmt.Fprintf(p.w, "onesim: aborted after %d simulated cell(s)\n", p.executed)
+		return
+	}
+	hits := p.total - p.executed
+	if hits < 0 {
+		hits = 0 // more cells executed than planned: never happens, stay sane
+	}
+	fmt.Fprintf(p.w, "onesim: %d cell(s) (%d cache hit(s)) in %.1fs\n",
+		p.total, hits, p.elapsed.Seconds())
 }
 
 // fail reports an error and returns the exit code. In JSON mode the

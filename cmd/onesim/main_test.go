@@ -94,6 +94,69 @@ func TestJSONSuccess(t *testing.T) {
 	}
 }
 
+// TestVerboseCellProgress: -v streams per-cell lines and a final
+// summary to stderr while stdout stays the normal report.
+func TestVerboseCellProgress(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-v", "-sched", "fifo", "-jobs", "8", "-interarrival", "25")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	for _, want := range []string{
+		"run started: 1 cell(s) planned",
+		"simulating",
+		"done in",
+		"1 cell(s) (0 cache hit(s)) in",
+	} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("-v stderr missing %q:\n%s", want, stderr)
+		}
+	}
+	if strings.Contains(stdout, "onesim:") {
+		t.Errorf("-v progress leaked onto stdout:\n%s", stdout)
+	}
+}
+
+// TestVerboseCountsCacheHit: with a warm cache the rerun simulates
+// nothing and the summary attributes the cell to the cache.
+func TestVerboseCountsCacheHit(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-v", "-cache-dir", dir, "-sched", "fifo", "-jobs", "8", "-interarrival", "25"}
+	if code, _, stderr := runCLI(t, args...); code != 0 {
+		t.Fatalf("cold run exit %d: %s", code, stderr)
+	}
+	code, _, stderr := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("warm run exit %d: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "1 cell(s) (1 cache hit(s)) in") {
+		t.Errorf("warm -v summary did not count the cache hit:\n%s", stderr)
+	}
+	if strings.Contains(stderr, "simulating") {
+		t.Errorf("warm run simulated a cell:\n%s", stderr)
+	}
+}
+
+// TestMetricsDump: -metrics appends the Prometheus exposition to stderr
+// after the run, without touching the stdout report.
+func TestMetricsDump(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-metrics", "-sched", "fifo", "-jobs", "8", "-interarrival", "25")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	for _, want := range []string{
+		"# TYPE engine_cells_completed_total counter",
+		"engine_cells_completed_total 1",
+		"engine_cell_seconds_count 1",
+	} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("-metrics stderr missing %q:\n%s", want, stderr)
+		}
+	}
+	if strings.Contains(stdout, "# TYPE") {
+		t.Errorf("metrics leaked onto stdout:\n%s", stdout)
+	}
+}
+
 // TestCancelledRunJSONError: a dead context surfaces as a JSON error
 // too (the run-failure path), not a zero exit with partial output.
 func TestCancelledRunJSONError(t *testing.T) {

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/schedulers"
 	"repro/internal/simulator"
@@ -39,6 +40,14 @@ type Runner struct {
 	// keys it by CellKey, which folds in every result-shaping parameter.
 	Persist Cache
 
+	// Obs, when set before the first use, receives out-of-band runtime
+	// telemetry: cells started/completed/cancelled/failed, worker-pool
+	// occupancy, queue depth and a per-cell wall-time histogram (see
+	// internal/obs and DESIGN.md "Observability"). Metrics never touch
+	// the simulation — results are byte-identical with Obs set or nil —
+	// and a nil Obs costs a single nil check per cell.
+	Obs *obs.Registry
+
 	// OnCellStart, when set before the first Results call, is invoked
 	// just before a cell begins simulating (cache hits do not fire it).
 	// Calls may come from multiple goroutines.
@@ -52,6 +61,49 @@ type Runner struct {
 	mu     sync.Mutex
 	cells  map[Cell]*cellEntry
 	traces map[traceKey]*traceEntry
+
+	obsOnce sync.Once
+	oh      *runnerObs
+}
+
+// runnerObs holds the Runner's instrument handles. The zero value —
+// every handle nil — is a valid no-op set: a Runner without a Registry
+// records against noRunnerObs and every site is a single-branch no-op.
+type runnerObs struct {
+	started   *obs.Counter
+	completed *obs.Counter
+	cancelled *obs.Counter
+	failed    *obs.Counter
+	busy      *obs.Gauge
+	queued    *obs.Gauge
+	cellTime  *obs.Histogram
+}
+
+// noRunnerObs is the shared no-op handle set for uninstrumented Runners.
+var noRunnerObs runnerObs
+
+// obsHandles lazily registers the engine instruments against r.Obs on
+// first use (a shared all-nil set when no registry is set, so call sites
+// never branch).
+func (r *Runner) obsHandles() *runnerObs {
+	r.obsOnce.Do(func() {
+		reg := r.Obs
+		if reg == nil {
+			r.oh = &noRunnerObs
+			return
+		}
+		r.oh = &runnerObs{
+			started:   reg.Counter("engine_cells_started_total", "Simulation cells that began executing (cache hits excluded)."),
+			completed: reg.Counter("engine_cells_completed_total", "Simulation cells that finished successfully."),
+			cancelled: reg.Counter("engine_cells_cancelled_total", "Simulation cells aborted by context cancellation."),
+			failed:    reg.Counter("engine_cells_failed_total", "Simulation cells that failed with a non-cancellation error."),
+			busy:      reg.Gauge("engine_workers_busy", "Worker-pool slots currently executing a cell."),
+			queued:    reg.Gauge("engine_queue_depth", "Cells waiting for a free worker-pool slot."),
+			cellTime:  reg.Histogram("engine_cell_seconds", "Wall time to simulate one cell.", nil),
+		}
+		reg.Gauge("engine_workers", "Configured worker-pool size.").Set(float64(r.workers))
+	})
+	return r.oh
 }
 
 // traceKey identifies a memoized trace: the seed plus the arrival
@@ -307,27 +359,56 @@ func (r *Runner) runCell(ctx context.Context, c Cell) (*simulator.Result, error)
 // simulate executes one simulation: wait for a worker slot (or the
 // context), resolve the scenario, generate (or recall) the trace its
 // arrival process shapes, build the scheduler from the registry with the
-// cell-derived seed, expand the capacity timeline, simulate.
-func (r *Runner) simulate(ctx context.Context, c Cell) (*simulator.Result, error) {
+// cell-derived seed, expand the capacity timeline, simulate. Out of
+// band, it records the cell lifecycle — queued → trace-gen → simulate →
+// done — as engine metrics and, when the context carries a trace (see
+// obs.StartSpan), as a span tree.
+func (r *Runner) simulate(ctx context.Context, c Cell) (res *simulator.Result, err error) {
+	oh := r.obsHandles()
+	ctx, cellSpan := obs.StartSpan(ctx, "cell "+c.String())
+	defer func() {
+		if err != nil {
+			if isCtxErr(err) {
+				cellSpan.Annotate("cancelled", "true")
+			} else {
+				cellSpan.Annotate("error", err.Error())
+			}
+		}
+		cellSpan.End()
+	}()
+	queueSpan := cellSpan.StartChild("queued")
+	oh.queued.Inc()
 	select {
 	case r.sem <- struct{}{}:
+		oh.queued.Dec()
 	case <-ctx.Done():
+		oh.queued.Dec()
+		queueSpan.End()
 		return nil, ctx.Err()
 	}
-	defer func() { <-r.sem }()
+	queueSpan.End()
+	oh.busy.Inc()
+	defer func() {
+		oh.busy.Dec()
+		<-r.sem
+	}()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
+	genSpan := cellSpan.StartChild("trace-gen")
 	scn, err := scenario.Get(c.Scenario)
 	if err != nil {
+		genSpan.End()
 		return nil, err
 	}
 	trace, err := r.trace(c.TraceSeed, scn.Arrival)
+	genSpan.End()
 	if err != nil {
 		return nil, err
 	}
 	tcfg := r.params.TraceConfig(c.TraceSeed)
+	oh.started.Inc()
 	if r.OnCellStart != nil {
 		r.OnCellStart(c)
 	}
@@ -351,18 +432,24 @@ func (r *Runner) simulate(ctx context.Context, c Cell) (*simulator.Result, error
 			evoPar = 1
 		}
 	}
+	simSpan := cellSpan.StartChild("simulate")
+	simSpan.Annotate("scheduler", c.Scheduler)
 	sched, err := schedulers.New(c.Scheduler, schedulers.Config{
 		Seed:         c.schedulerSeed(r.params.Seed),
 		ArrivalRate:  tcfg.ArrivalRate(),
 		Population:   r.params.Population,
 		MutationRate: r.params.MutationRate,
 		Parallelism:  evoPar,
+		Obs:          r.Obs,
+		Span:         simSpan,
 	})
 	if err != nil {
+		simSpan.End()
 		return nil, err
 	}
 	topo, err := c.Topology()
 	if err != nil {
+		simSpan.End()
 		return nil, err
 	}
 	simCfg := simulator.DefaultConfig(trace)
@@ -372,12 +459,21 @@ func (r *Runner) simulate(ctx context.Context, c Cell) (*simulator.Result, error
 	// scheduler, so paired comparisons face the identical world.
 	simCfg.Capacity = scn.Capacity.Timeline(c.scenarioSeed(r.params.Seed), simCfg.MaxTime)
 	simCfg.MinServers = scn.Capacity.MinServers
-	res, err := simulator.RunContext(ctx, simCfg, sched)
+	res, err = simulator.RunContext(ctx, simCfg, sched)
+	simSpan.End()
+	elapsed := time.Since(start)
 	if err != nil {
+		if isCtxErr(err) {
+			oh.cancelled.Inc()
+		} else {
+			oh.failed.Inc()
+		}
 		return nil, err
 	}
+	oh.completed.Inc()
+	oh.cellTime.Observe(elapsed.Seconds())
 	if r.OnCell != nil {
-		r.OnCell(c, res, time.Since(start))
+		r.OnCell(c, res, elapsed)
 	}
 	return res, nil
 }

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/predictor"
 )
 
@@ -71,6 +72,12 @@ type Context struct {
 	Throughput func(j cluster.JobID, B, c, servers int) float64
 	Rng        *rand.Rand
 
+	// MemoHits / MemoMisses, when set, count throughput-memo outcomes
+	// (see internal/obs). Telemetry only: scoring is unaffected, and the
+	// nil default costs one branch per evaluation.
+	MemoHits   *obs.Counter
+	MemoMisses *obs.Counter
+
 	ids  []cluster.JobID // sorted-job-ID cache; see jobIDs
 	memo *throughputMemo // shared Throughput cache; see throughput
 }
@@ -108,8 +115,10 @@ func (ctx *Context) throughput(j cluster.JobID, B, c, servers int) float64 {
 	x, ok := mm.m[k]
 	mm.mu.RUnlock()
 	if ok {
+		ctx.MemoHits.Inc()
 		return x
 	}
+	ctx.MemoMisses.Inc()
 	x = ctx.Throughput(j, B, c, servers)
 	mm.mu.Lock()
 	mm.m[k] = x
@@ -695,6 +704,13 @@ type Engine struct {
 	// wrong — callers abandon the run anyway.
 	Cancel func() bool
 
+	// Generations / Candidates, when set, count Iterate rounds and the
+	// candidates they generate (see internal/obs). Telemetry only — the
+	// search is unaffected — and nil-safe, so untouched engines pay one
+	// branch per round.
+	Generations *obs.Counter
+	Candidates  *obs.Counter
+
 	pop []*cluster.Schedule
 
 	// Per-Iterate working storage, reused across rounds.
@@ -779,6 +795,8 @@ func (e *Engine) Iterate(ctx *Context) *cluster.Schedule {
 	// dedicated RNG seed come from the master RNG) so the fan-out below is
 	// free to run in any order.
 	nCand := len(e.pop) + 2*e.K + e.K
+	e.Generations.Inc()
+	e.Candidates.Add(uint64(nCand))
 	tasks := e.tasks[:0]
 	slot := 0
 	for _, s := range e.pop {

@@ -9,24 +9,49 @@ import (
 	"repro/internal/simulator"
 )
 
+// Canonical column orders. Headers and rows are built from the same
+// slice, so the two can never drift apart; reorder here (never inline)
+// if a column must move. Downstream plotting scripts key on these names.
+var (
+	jobsColumns   = []string{"scheduler", "job", "task", "submit", "start", "done", "jct", "exec", "queue"}
+	eventsColumns = []string{"time", "kind", "job", "gpus", "batch"}
+)
+
+// formatSeconds renders one duration value for CSV emission. The format
+// is pinned — fixed-point, millisecond precision, '.' decimal separator
+// — and locale-independent: strconv never consults the process locale
+// (unlike printf-style formatting in other runtimes), so the same value
+// produces the same bytes on every machine. Negative zero (a possible
+// product of float subtraction, e.g. queue = jct − exec) is collapsed to
+// plain zero so equal values always render equal.
+func formatSeconds(v float64) string {
+	if v == 0 {
+		v = 0 // rewrites -0.0 ("-0.000") to +0.0 ("0.000")
+	}
+	return strconv.FormatFloat(v, 'f', 3, 64)
+}
+
 // WriteJobsCSV emits one row per completed job across all results, ready
 // for external plotting of the Figure 15 distributions:
 //
 //	scheduler,job,task,submit,start,done,jct,exec,queue
+//
+// Emission is byte-stable: fixed column order, fixed float formatting
+// (see formatSeconds), rows in input order. Identical results produce
+// identical files — csv_test.go pins the bytes with golden files.
 func WriteJobsCSV(w io.Writer, results []*simulator.Result) error {
 	cw := csv.NewWriter(w)
-	header := []string{"scheduler", "job", "task", "submit", "start", "done", "jct", "exec", "queue"}
-	if err := cw.Write(header); err != nil {
+	if err := cw.Write(jobsColumns); err != nil {
 		return fmt.Errorf("metrics: csv header: %w", err)
 	}
-	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
 	for _, r := range results {
 		for _, j := range r.Jobs {
 			row := []string{
 				r.Scheduler,
 				strconv.Itoa(int(j.ID)),
 				j.Name,
-				f(j.Submit), f(j.Start), f(j.Done), f(j.JCT), f(j.Exec), f(j.Queue),
+				formatSeconds(j.Submit), formatSeconds(j.Start), formatSeconds(j.Done),
+				formatSeconds(j.JCT), formatSeconds(j.Exec), formatSeconds(j.Queue),
 			}
 			if err := cw.Write(row); err != nil {
 				return fmt.Errorf("metrics: csv row: %w", err)
@@ -40,14 +65,16 @@ func WriteJobsCSV(w io.Writer, results []*simulator.Result) error {
 // WriteEventsCSV emits the scheduling event log of one result:
 //
 //	time,kind,job,gpus,batch
+//
+// Byte-stable under the same contract as WriteJobsCSV.
 func WriteEventsCSV(w io.Writer, res *simulator.Result) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"time", "kind", "job", "gpus", "batch"}); err != nil {
+	if err := cw.Write(eventsColumns); err != nil {
 		return fmt.Errorf("metrics: csv header: %w", err)
 	}
 	for _, ev := range res.Events {
 		row := []string{
-			strconv.FormatFloat(ev.Time, 'f', 3, 64),
+			formatSeconds(ev.Time),
 			string(ev.Kind),
 			strconv.Itoa(int(ev.Job)),
 			strconv.Itoa(ev.GPUs),

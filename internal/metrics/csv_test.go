@@ -1,6 +1,10 @@
 package metrics
 
 import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -62,5 +66,90 @@ func TestWriteEventsCSVEmpty(t *testing.T) {
 	}
 	if got := strings.TrimSpace(b.String()); got != "time,kind,job,gpus,batch" {
 		t.Errorf("empty log csv = %q", got)
+	}
+}
+
+// goldenJobsResults builds the fixed input behind testdata/jobs.golden.csv.
+// The FIFO job's queue is a computed −0.0: the golden file proves the
+// writer collapses it to "0.000" rather than leaking a sign bit that
+// depends on how the value was produced.
+func goldenJobsResults() []*simulator.Result {
+	negZero := math.Copysign(0, -1)
+	return []*simulator.Result{
+		{
+			Scheduler: "ONES",
+			Jobs: []simulator.JobMetric{
+				{ID: 1, Name: "resnet50-imagenet", Submit: 0, Start: 2.5, Done: 102.5, JCT: 102.5, Exec: 100, Queue: 2.5},
+				{ID: 2, Name: "vgg16-cifar10", Submit: 10.125, Start: 12, Done: 212, JCT: 201.875, Exec: 200, Queue: 1.875},
+			},
+		},
+		{
+			Scheduler: "FIFO",
+			Jobs: []simulator.JobMetric{
+				{ID: 3, Name: "bert-large-squad", Submit: 0, Start: 0, Done: 300, JCT: 300, Exec: 300, Queue: negZero},
+			},
+		},
+	}
+}
+
+// goldenEventsResult builds the fixed input behind testdata/events.golden.csv.
+func goldenEventsResult() *simulator.Result {
+	return &simulator.Result{
+		Scheduler: "ONES",
+		Events: []simulator.Event{
+			{Time: 0, Kind: simulator.EventArrive, Job: 7},
+			{Time: 1.5, Kind: simulator.EventStart, Job: 7, GPUs: 1, Batch: 256},
+			{Time: 9, Kind: simulator.EventRescale, Job: 7, GPUs: 2, Batch: 512},
+			{Time: 10.25, Kind: simulator.EventComplete, Job: 7, GPUs: 2, Batch: 512},
+		},
+	}
+}
+
+// checkGolden compares emitted bytes against the checked-in golden file.
+// The files pin the full emission contract — column order, float format,
+// row order — so an accidental format change fails loudly here instead
+// of silently breaking downstream plotting pipelines.
+func checkGolden(t *testing.T, golden string, got []byte) {
+	t.Helper()
+	want, err := os.ReadFile(filepath.Join("testdata", golden))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden output.\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+func TestJobsCSVGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteJobsCSV(&b, goldenJobsResults()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "jobs.golden.csv", b.Bytes())
+}
+
+func TestEventsCSVGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteEventsCSV(&b, goldenEventsResult()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "events.golden.csv", b.Bytes())
+}
+
+// TestFormatSecondsStable pins the shared float formatter directly:
+// fixed precision, no exponent form at any magnitude, and no negative
+// zero.
+func TestFormatSecondsStable(t *testing.T) {
+	cases := map[float64]string{
+		0:                    "0.000",
+		math.Copysign(0, -1): "0.000",
+		0.0005:               "0.001",
+		-1.5:                 "-1.500",
+		1e6:                  "1000000.000",
+	}
+	for in, want := range cases {
+		if got := formatSeconds(in); got != want {
+			t.Errorf("formatSeconds(%v) = %q, want %q", in, got, want)
+		}
 	}
 }

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format (version 0.0.4): families sorted by name, each
+// with its # HELP and # TYPE lines, children sorted by label values,
+// histograms expanded into cumulative _bucket{le=...} series plus _sum
+// and _count. Rendering is deterministic for a given registry state —
+// golden and conformance tests rely on that. Safe on a nil Registry
+// (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.RUnlock()
+	for _, f := range fams {
+		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// snapshotChildren copies the family's child list, sorted by label
+// values for render stability.
+func (f *family) snapshotChildren() []*child {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*child, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, f.children[k])
+	}
+	f.mu.Unlock()
+	return out
+}
+
+func (f *family) write(w io.Writer) error {
+	children := f.snapshotChildren()
+	if len(children) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.kind); err != nil {
+		return err
+	}
+	for _, c := range children {
+		if err := f.writeChild(w, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writeChild(w io.Writer, c *child) error {
+	switch f.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, renderLabels(f.labelNames, c.labelValues, ""), strconv.FormatUint(c.counter.Value(), 10))
+		return err
+	case kindGauge:
+		v := 0.0
+		if fn := c.fn.Load(); fn != nil {
+			v = (*fn)()
+		} else {
+			v = c.gauge.Value()
+		}
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, renderLabels(f.labelNames, c.labelValues, ""), formatFloat(v))
+		return err
+	case kindHistogram:
+		h := c.hist
+		// Snapshot count first: concurrent Observes may land between the
+		// bucket reads below and would otherwise make the +Inf bucket
+		// disagree with _count within one exposition.
+		total := h.Count()
+		var cum uint64
+		for i, bound := range h.bounds {
+			cum += h.counts[i].Load()
+			if cum > total {
+				cum = total
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, renderLabels(f.labelNames, c.labelValues, formatFloat(bound)), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, renderLabels(f.labelNames, c.labelValues, "+Inf"), total); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, renderLabels(f.labelNames, c.labelValues, ""), formatFloat(h.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, renderLabels(f.labelNames, c.labelValues, ""), total)
+		return err
+	}
+	return nil
+}
+
+// renderLabels renders a {name="value",...} label set, optionally
+// appending an le bucket label (le == "" ⇒ none). Returns "" for an
+// empty set.
+func renderLabels(names, values []string, le string) string {
+	if len(names) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation, locale-independent.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// escapeHelp escapes a HELP string (backslash and newline).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value (backslash, quote, newline).
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/evolution"
+	"repro/internal/obs"
 	"repro/internal/predictor"
 	"repro/internal/scaling"
 	"repro/internal/simulator"
@@ -38,6 +39,21 @@ type ONES struct {
 	DisableReorder   bool
 	DisableSampling  bool
 	DisableScaleDown bool
+
+	// Obs, when set before the first decision, receives out-of-band
+	// search telemetry: evolution generations and candidates, the
+	// throughput-memo hit ratio, decision and deployment counts. Results
+	// are byte-identical with or without it.
+	Obs *obs.Registry
+	// Span, when set, is the parent span under which Decide records one
+	// "evolution-interval" child per decision (bounded by the owning
+	// trace's span cap). Out of band only, like Obs.
+	Span *obs.Span
+
+	memoHits    *obs.Counter
+	memoMisses  *obs.Counter
+	decisions   *obs.Counter
+	deployments *obs.Counter
 
 	engine      *evolution.Engine
 	pred        *predictor.Predictor
@@ -148,9 +164,18 @@ func (o *ONES) Decide(trigger simulator.Trigger, view *simulator.View) *cluster.
 			o.engine.Parallelism = gorun.GOMAXPROCS(0)
 		}
 		o.limiter.Sigma = o.arrivalRate / float64(view.Topo.TotalGPUs())
+		// Register instrument handles with the engine (all calls are
+		// nil-safe, so an unset Obs just leaves them nil).
+		o.engine.Generations = o.Obs.Counter("evolution_generations_total", "Evolution rounds executed (Engine.Iterate calls).")
+		o.engine.Candidates = o.Obs.Counter("evolution_candidates_total", "Candidate schedules generated across all evolution rounds.")
+		o.memoHits = o.Obs.Counter("evolution_memo_hits_total", "Throughput evaluations answered by the per-decision memo.")
+		o.memoMisses = o.Obs.Counter("evolution_memo_misses_total", "Throughput evaluations computed fresh (memo misses).")
+		o.decisions = o.Obs.Counter("ones_decisions_total", "ONES scheduling decisions taken.")
+		o.deployments = o.Obs.Counter("ones_deployments_total", "Champion schedules actually deployed (improvements over the live schedule).")
 	}
 	o.ingest(view)
 
+	evoSpan := o.Span.StartChild("evolution-interval")
 	ctx := o.buildContext(view)
 	iters := o.IterationsPerDecision
 	if iters < 1 {
@@ -160,8 +185,10 @@ func (o *ONES) Decide(trigger simulator.Trigger, view *simulator.View) *cluster.
 	for i := 0; i < iters; i++ {
 		champion = o.engine.Iterate(ctx)
 	}
+	evoSpan.End()
 
 	o.Stats.Decisions++
+	o.decisions.Inc()
 	if o.cancelled != nil && o.cancelled() {
 		// The search was cut short: the champion may be stale — it can
 		// even reference jobs that completed since the population last
@@ -178,6 +205,7 @@ func (o *ONES) Decide(trigger simulator.Trigger, view *simulator.View) *cluster.
 		return nil
 	}
 	o.Stats.Deployments++
+	o.deployments.Inc()
 	o.recordDeployment(view, champion)
 	return champion
 }
@@ -314,6 +342,8 @@ func (o *ONES) buildContext(view *simulator.View) *evolution.Context {
 		NewJobs:    newJobs,
 		Throughput: view.Throughput,
 		Rng:        o.rng,
+		MemoHits:   o.memoHits,
+		MemoMisses: o.memoMisses,
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/simulator"
 )
 
@@ -29,6 +30,15 @@ type Config struct {
 	// loop; 0 ⇒ GOMAXPROCS). Purely a performance knob: results are
 	// identical at any setting.
 	Parallelism int
+	// Obs, when non-nil, receives scheduler-internal telemetry (ONES's
+	// evolution generation/candidate counters and throughput-memo hit
+	// ratio). Out of band only: results are byte-identical with or
+	// without it.
+	Obs *obs.Registry
+	// Span, when non-nil, is the parent span scheduler-internal tracing
+	// hangs off (ONES records evolution-interval child spans). Out of
+	// band only, like Obs.
+	Span *obs.Span
 }
 
 // Factory constructs one scheduler instance from a Config.
@@ -95,6 +105,8 @@ func init() {
 			o.MutationRate = cfg.MutationRate
 		}
 		o.Parallelism = cfg.Parallelism
+		o.Obs = cfg.Obs
+		o.Span = cfg.Span
 		return o
 	})
 	Register("drl", func(cfg Config) simulator.Scheduler { return NewDRL(cfg.Seed) })

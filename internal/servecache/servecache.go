@@ -31,7 +31,9 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/simulator"
 )
 
@@ -68,6 +70,84 @@ type Cache struct {
 	mu      sync.Mutex
 	entries map[string]*entry
 	stats   Stats
+
+	obsP atomic.Pointer[cacheObs]
+}
+
+// cacheObs holds the cache's instrument handles (see Instrument). The
+// zero value — every counter nil — is a valid no-op set, which is what
+// an uninstrumented cache records against.
+type cacheObs struct {
+	memoryHits *obs.Counter
+	diskHits   *obs.Counter
+	computes   *obs.Counter
+	dedupWaits *obs.Counter
+	diskWrites *obs.Counter
+	discards   *obs.Counter
+}
+
+var noCacheObs cacheObs
+
+// oh returns the instrument handles (a shared all-nil set when the cache
+// is uninstrumented, so call sites never branch).
+func (c *Cache) oh() *cacheObs {
+	if o := c.obsP.Load(); o != nil {
+		return o
+	}
+	return &noCacheObs
+}
+
+// Instrument registers the cache's out-of-band telemetry with reg and
+// starts recording: hits by source, computes, singleflight dedupes, disk
+// writes, corrupt-file discards, plus live gauges for the in-memory memo
+// size and bytes persisted on disk. Telemetry never affects what Do
+// returns. Safe on a nil Cache or registry; safe to call concurrently
+// with Do (counters recorded before the call are simply not counted).
+func (c *Cache) Instrument(reg *obs.Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	hits := reg.CounterVec("servecache_hits_total", "Cache hits by source (memory: in-process memo; disk: persisted file).", "source")
+	c.obsP.Store(&cacheObs{
+		memoryHits: hits.With("memory"),
+		diskHits:   hits.With("disk"),
+		computes:   reg.Counter("servecache_computes_total", "Cache misses that ran a full simulation."),
+		dedupWaits: reg.Counter("servecache_dedup_waits_total", "Calls that piggybacked on another caller's in-flight computation."),
+		diskWrites: reg.Counter("servecache_disk_writes_total", "Results written through to the persistence directory."),
+		discards:   reg.Counter("servecache_discards_total", "Corrupt, unreadable or version-mismatched cache files discarded."),
+	})
+	reg.GaugeFunc("servecache_entries", "Entries in the in-memory result memo.", func() float64 {
+		c.mu.Lock()
+		n := len(c.entries)
+		c.mu.Unlock()
+		return float64(n)
+	})
+	reg.GaugeFunc("servecache_disk_bytes", "Total size of persisted result files, in bytes.", func() float64 {
+		return float64(c.diskBytes())
+	})
+}
+
+// diskBytes sums the sizes of the persisted result files (0 when
+// memory-only or unreadable). Scanned at scrape time: writes rename into
+// place atomically, so the walk never sees torn entries.
+func (c *Cache) diskBytes() int64 {
+	if c.dir == "" {
+		return 0
+	}
+	des, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, de := range des {
+		if de.IsDir() || filepath.Ext(de.Name()) != ".json" {
+			continue
+		}
+		if info, err := de.Info(); err == nil {
+			total += info.Size()
+		}
+	}
+	return total
 }
 
 // entry is a singleflight slot: the goroutine that inserts it resolves
@@ -163,11 +243,14 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() (*simulator.R
 			}
 			close(e.done)
 		} else {
+			oh := c.oh()
 			select {
 			case <-e.done:
 				c.stats.MemoryHits++
+				oh.memoryHits.Inc()
 			default:
 				c.stats.DedupWaits++
+				oh.dedupWaits.Inc()
 			}
 			c.mu.Unlock()
 		}
@@ -194,6 +277,7 @@ func (c *Cache) resolve(e *entry, key string, compute func() (*simulator.Result,
 	if res, ok := c.load(key); ok {
 		e.res = res
 		c.count(func(s *Stats) { s.DiskHits++ })
+		c.oh().diskHits.Inc()
 		return
 	}
 	e.res, e.err = compute()
@@ -201,6 +285,7 @@ func (c *Cache) resolve(e *entry, key string, compute func() (*simulator.Result,
 		return
 	}
 	c.count(func(s *Stats) { s.Computes++ })
+	c.oh().computes.Inc()
 	c.store(key, e.res)
 }
 
@@ -263,6 +348,7 @@ func (c *Cache) load(key string) (*simulator.Result, bool) {
 // discard warns about and removes a bad cache file; the caller recomputes.
 func (c *Cache) discard(path, reason string) {
 	c.count(func(s *Stats) { s.Discards++ })
+	c.oh().discards.Inc()
 	c.warn("servecache: discarding %s: %s", filepath.Base(path), reason)
 	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
 		c.warn("servecache: remove %s: %v", filepath.Base(path), err)
@@ -301,5 +387,7 @@ func (c *Cache) store(key string, res *simulator.Result) {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
 		c.warn("servecache: rename %s: %v", filepath.Base(path), err)
+		return
 	}
+	c.oh().diskWrites.Inc()
 }

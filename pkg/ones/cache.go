@@ -72,6 +72,20 @@ func (c *Cache) Stats() CacheStats {
 	}
 }
 
+// Instrument registers the cache's out-of-band telemetry with m and
+// starts recording: hits by source, computes, singleflight dedupes, disk
+// writes, corrupt-file discards, plus live gauges for the memo size and
+// bytes on disk. Sessions built with both WithCache and WithMetrics call
+// this automatically; call it directly when the cache is used without a
+// Session (onesd does, so cache series exist before the first run). Safe
+// on a nil Metrics; telemetry never changes what the cache returns.
+func (c *Cache) Instrument(m *Metrics) {
+	if m == nil {
+		return
+	}
+	c.impl.Instrument(m.reg)
+}
+
 // WithCache plugs a shared (and optionally persistent) result cache into
 // the Session. Sessions sharing one Cache share results: a cell any of
 // them has computed — in this process or, with persistence, a previous

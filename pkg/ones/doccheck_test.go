@@ -11,13 +11,14 @@ import (
 )
 
 // TestEveryExportedSymbolIsDocumented enforces the public surface's
-// documentation contract: every exported symbol in pkg/ones and
-// pkg/ones/serve — types, functions, methods, constructors, consts and
+// documentation contract: every exported symbol in pkg/ones,
+// pkg/ones/serve and internal/obs (the telemetry layer other packages
+// build on) — types, functions, methods, constructors, consts and
 // vars — carries a doc comment, and each package has a package comment.
 // CI runs this as part of the docs job, so an undocumented addition to
 // the SDK fails the build rather than shipping dark.
 func TestEveryExportedSymbolIsDocumented(t *testing.T) {
-	for _, dir := range []string{".", "serve"} {
+	for _, dir := range []string{".", "serve", "../../internal/obs"} {
 		checkPackageDocs(t, dir)
 	}
 }

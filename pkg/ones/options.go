@@ -19,6 +19,7 @@ type settings struct {
 	trace     Trace
 	observer  Observer
 	cache     *Cache
+	metrics   *Metrics
 	err       error // first option-validation failure, surfaced by New
 }
 

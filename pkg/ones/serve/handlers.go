@@ -61,22 +61,31 @@ func toStreamEvent(p ones.Progress) streamEvent {
 	}
 }
 
-// Handler returns the daemon's route table.
+// Handler returns the daemon's route table. Every route is wrapped with
+// the per-endpoint HTTP metrics when the server was built WithMetrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/runs", s.handleCreate)
-	mux.HandleFunc("GET /v1/runs", s.handleList)
-	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
-	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /v1/runs/{id}/stream", s.handleStream)
-	mux.HandleFunc("GET /v1/schedulers", s.handleSchedulers)
-	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
-	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
-	mux.HandleFunc("GET /v1/cache", s.handleCache)
-	mux.HandleFunc("DELETE /v1/cache", s.handleCacheReset)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrumented(pattern, h))
+	}
+	route("POST /v1/runs", s.handleCreate)
+	route("GET /v1/runs", s.handleList)
+	route("GET /v1/runs/{id}", s.handleGet)
+	route("DELETE /v1/runs/{id}", s.handleCancel)
+	route("GET /v1/runs/{id}/stream", s.handleStream)
+	route("GET /v1/runs/{id}/trace", s.handleTrace)
+	route("GET /v1/schedulers", s.handleSchedulers)
+	route("GET /v1/scenarios", s.handleScenarios)
+	route("GET /v1/experiments", s.handleExperiments)
+	route("GET /v1/cache", s.handleCache)
+	route("DELETE /v1/cache", s.handleCacheReset)
+	route("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	route("GET /readyz", s.handleReady)
+	// /metrics is deliberately NOT instrumented: scrapes every few
+	// seconds would dominate the request series it reports.
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 

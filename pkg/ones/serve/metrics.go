@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// instrumented wraps a handler with the per-endpoint HTTP metrics:
+// request count by status code, latency histogram and the in-flight
+// gauge. The endpoint label is the route pattern ("GET /v1/runs/{id}"),
+// so path parameters never explode the series cardinality. Without
+// WithMetrics the handler is returned untouched.
+func (s *Server) instrumented(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	if s.metrics == nil {
+		return h
+	}
+	reqs := s.httpReqs
+	lat := s.httpLat.With(pattern)
+	return func(w http.ResponseWriter, req *http.Request) {
+		s.httpInFlight.Inc()
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, req)
+		s.httpInFlight.Dec()
+		lat.Observe(time.Since(start).Seconds())
+		reqs.With(pattern, strconv.Itoa(rec.code)).Inc()
+	}
+}
+
+// statusRecorder captures the response status code for the request
+// counter. It forwards Flush so NDJSON streaming (GET /v1/runs/{id}/
+// stream) keeps flushing per event through the wrapper.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.code = code
+		r.wrote = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
+}
+
+// Flush implements http.Flusher when the underlying writer does.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// handleMetrics (GET /metrics) renders the registry in the Prometheus
+// text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	if s.metrics == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("metrics not enabled"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	s.metrics.WritePrometheus(w)
+}
+
+// handleReady (GET /readyz) reports readiness: 200 while accepting runs,
+// 503 once Shutdown has begun — load balancers stop routing to a
+// draining daemon while GET /healthz keeps answering 200 (alive, just
+// leaving).
+func (s *Server) handleReady(w http.ResponseWriter, req *http.Request) {
+	if s.draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// handleTrace (GET /v1/runs/{id}/trace) serves the run's recorded span
+// tree: the cell lifecycle (queued → trace-gen → simulate → evolution
+// intervals) with millisecond timings, in progress while the run is
+// live. Old traces rotate out of the bounded buffer (404).
+func (s *Server) handleTrace(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	if s.metrics == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("tracing not enabled"))
+		return
+	}
+	if _, ok := s.get(id); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown run %q", id))
+		return
+	}
+	tree, ok := s.metrics.TraceTree(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("trace for %q evicted (the buffer keeps the most recent runs)", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "trace": tree})
+}

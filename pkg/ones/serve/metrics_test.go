@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/pkg/ones"
+)
+
+// newMetricsServer builds a test daemon with the full telemetry stack.
+func newMetricsServer(t *testing.T, dir string) (*Server, *ones.Metrics, *httptest.Server) {
+	t.Helper()
+	cache, err := ones.NewCache(dir, func(string, ...any) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ones.NewMetrics()
+	srv := New(cache, nil, WithMetrics(m))
+	ts := httptest.NewServer(srv.Handler())
+	return srv, m, ts
+}
+
+func getBody(t *testing.T, url string, wantCode int) (string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s = %d, want %d: %s", url, resp.StatusCode, wantCode, body)
+	}
+	return string(body), resp.Header
+}
+
+// TestDaemonMetricsAndTrace drives one run through an instrumented
+// daemon and checks the whole observability surface: /metrics exposition
+// (engine, cache, evolution, HTTP and run-table series), the per-run
+// trace tree, and /readyz flipping to 503 on shutdown.
+func TestDaemonMetricsAndTrace(t *testing.T) {
+	srv, _, ts := newMetricsServer(t, "")
+	defer ts.Close()
+
+	st := createRun(t, ts.URL, quickSpec())
+	waitStatus(t, ts.URL, st.ID, StatusDone, 30*time.Second)
+
+	body, hdr := getBody(t, ts.URL+"/metrics", http.StatusOK)
+	if ct := hdr.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	for _, want := range []string{
+		"engine_cells_completed_total 1",
+		"servecache_computes_total 1",
+		`onesd_runs{state="done"} 1`,
+		`onesd_runs{state="running"} 0`,
+		`http_requests_total{endpoint="POST /v1/runs",code="201"} 1`,
+		`http_request_seconds_count{endpoint="GET /v1/runs/{id}"}`,
+		"http_in_flight 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// quickSpec runs tiresias, so evolution series must NOT exist yet.
+	if strings.Contains(body, "evolution_generations_total") {
+		t.Error("evolution series present without an ONES run")
+	}
+
+	// An ONES run adds the evolution series and a deeper trace.
+	st2 := createRun(t, ts.URL, RunSpec{Scheduler: "ones", Jobs: 6, Interarrival: 25, Seed: 4, Quick: true})
+	waitStatus(t, ts.URL, st2.ID, StatusDone, 60*time.Second)
+	body, _ = getBody(t, ts.URL+"/metrics", http.StatusOK)
+	for _, want := range []string{
+		"evolution_generations_total ",
+		"evolution_memo_hits_total ",
+		"ones_decisions_total ",
+		"engine_cells_completed_total 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q after ONES run", want)
+		}
+	}
+
+	// Trace endpoint: the run's span tree with the cell lifecycle.
+	raw, _ := getBody(t, ts.URL+"/v1/runs/"+st2.ID+"/trace", http.StatusOK)
+	var tr struct {
+		ID    string          `json:"id"`
+		Trace *ones.TraceNode `json:"trace"`
+	}
+	if err := json.Unmarshal([]byte(raw), &tr); err != nil {
+		t.Fatalf("bad trace JSON: %v", err)
+	}
+	if tr.Trace == nil || tr.Trace.InProgress {
+		t.Fatalf("trace = %+v, want an ended root", tr.Trace)
+	}
+	if len(tr.Trace.Children) != 1 || !strings.HasPrefix(tr.Trace.Children[0].Name, "cell ") {
+		t.Fatalf("trace children = %+v, want one cell span", tr.Trace.Children)
+	}
+	var haveEvo bool
+	for _, c := range tr.Trace.Children[0].Children {
+		if c.Name == "simulate" {
+			for _, g := range c.Children {
+				if g.Name == "evolution-interval" {
+					haveEvo = true
+				}
+			}
+		}
+	}
+	if !haveEvo {
+		t.Error("simulate span has no evolution-interval children")
+	}
+
+	getBody(t, ts.URL+"/v1/runs/no-such-run/trace", http.StatusNotFound)
+
+	// Readiness: ready while serving, draining after Shutdown.
+	getBody(t, ts.URL+"/readyz", http.StatusOK)
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		t.Fatal(err)
+	}
+	getBody(t, ts.URL+"/readyz", http.StatusServiceUnavailable)
+	getBody(t, ts.URL+"/healthz", http.StatusOK) // alive, just leaving
+}
+
+// TestDaemonWithoutMetrics pins the opt-out path: a bare server still
+// serves every API route, /metrics and traces 404, /readyz works.
+func TestDaemonWithoutMetrics(t *testing.T) {
+	_, ts := newTestServer(t, "")
+	defer ts.Close()
+	st := createRun(t, ts.URL, quickSpec())
+	waitStatus(t, ts.URL, st.ID, StatusDone, 30*time.Second)
+	getBody(t, ts.URL+"/metrics", http.StatusNotFound)
+	getBody(t, ts.URL+"/v1/runs/"+st.ID+"/trace", http.StatusNotFound)
+	getBody(t, ts.URL+"/readyz", http.StatusOK)
+}

@@ -19,11 +19,25 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/pkg/ones"
 )
 
 // ErrShuttingDown rejects new runs once Shutdown has begun.
 var ErrShuttingDown = errors.New("server is shutting down")
+
+// Option configures a Server under construction (see New).
+type Option func(*Server)
+
+// WithMetrics wires a telemetry sink into the server: every run's
+// Session records into it (engine, cache and evolution series), each run
+// is traced under its run ID (served by GET /v1/runs/{id}/trace), the
+// HTTP mux is instrumented per endpoint, and GET /metrics renders the
+// whole registry as Prometheus text. The shared cache, when present, is
+// instrumented at construction so its series exist before the first run.
+func WithMetrics(m *ones.Metrics) Option {
+	return func(s *Server) { s.metrics = m }
+}
 
 // RunSpec is the POST /v1/runs request body. Zero fields keep the SDK
 // defaults (scheduler "ones", scenario "steady", the 16×4 Longhorn
@@ -190,8 +204,14 @@ func (r *run) snapshot() (status string, res *ones.Result, errMsg string, done, 
 // every run inherits. Shutdown cancels that context (aborting every
 // in-flight simulation mid-cell) and drains the run goroutines.
 type Server struct {
-	cache *ones.Cache
-	log   *log.Logger
+	cache   *ones.Cache
+	log     *log.Logger
+	metrics *ones.Metrics
+
+	// HTTP middleware handles (nil without WithMetrics; all nil-safe).
+	httpReqs     *obs.CounterVec
+	httpLat      *obs.HistogramVec
+	httpInFlight *obs.Gauge
 
 	base context.Context
 	stop context.CancelFunc
@@ -207,19 +227,56 @@ type Server struct {
 
 // New builds a Server over a shared cache (nil ⇒ runs are independent:
 // no cross-run dedup, no persistence) and a logger (nil ⇒ the standard
-// logger).
-func New(cache *ones.Cache, logger *log.Logger) *Server {
+// logger). Options add observability (see WithMetrics); a bare New is
+// unchanged from earlier releases.
+func New(cache *ones.Cache, logger *log.Logger, opts ...Option) *Server {
 	if logger == nil {
 		logger = log.Default()
 	}
 	base, stop := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		cache: cache,
 		log:   logger,
 		base:  base,
 		stop:  stop,
 		runs:  make(map[string]*run),
 	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.metrics != nil {
+		if s.cache != nil {
+			s.cache.Instrument(s.metrics)
+		}
+		reg := s.metrics.Registry()
+		s.httpReqs = reg.CounterVec("http_requests_total", "HTTP requests served, by route pattern and status code.", "endpoint", "code")
+		s.httpLat = reg.HistogramVec("http_request_seconds", "HTTP request latency, by route pattern.", nil, "endpoint")
+		s.httpInFlight = reg.Gauge("http_in_flight", "HTTP requests currently being served.")
+		for _, state := range []string{StatusRunning, StatusDone, StatusFailed, StatusCancelled} {
+			reg.GaugeFunc("onesd_runs", "Runs in the run table, by lifecycle state.",
+				func() float64 { return float64(s.countRuns(state)) }, "state", state)
+		}
+	}
+	return s
+}
+
+// countRuns reports how many runs are currently in the given state.
+func (s *Server) countRuns(state string) int {
+	n := 0
+	for _, r := range s.list() {
+		st, _, _, _, _ := r.snapshot()
+		if st == state {
+			n++
+		}
+	}
+	return n
+}
+
+// draining reports whether Shutdown has begun (GET /readyz turns 503).
+func (s *Server) draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
 }
 
 // Cache returns the shared cache (may be nil).
@@ -236,7 +293,11 @@ func (s *Server) start(spec RunSpec) (*run, error) {
 	id := fmt.Sprintf("run-%06d", s.seq)
 	runCtx, cancel := context.WithCancel(s.base)
 	r := newRun(id, spec, cancel)
-	sess, err := ones.New(spec.options(r, s.cache)...)
+	sessOpts := spec.options(r, s.cache)
+	if s.metrics != nil {
+		sessOpts = append(sessOpts, ones.WithMetrics(s.metrics))
+	}
+	sess, err := ones.New(sessOpts...)
 	if err != nil {
 		s.seq-- // the id was never exposed
 		s.mu.Unlock()
@@ -248,10 +309,14 @@ func (s *Server) start(spec RunSpec) (*run, error) {
 	s.wg.Add(1)
 	s.mu.Unlock()
 
+	// Trace the run under its ID; GET /v1/runs/{id}/trace serves the tree.
+	// A nil metrics sink passes runCtx through untouched.
+	traceCtx, endTrace := s.metrics.StartTrace(runCtx, id, "run "+id)
 	go func() {
 		defer s.wg.Done()
 		defer cancel()
-		res, err := sess.Run(runCtx)
+		res, err := sess.Run(traceCtx)
+		endTrace()
 		r.finish(res, err, runCtx.Err() != nil)
 		if err != nil && runCtx.Err() == nil {
 			s.log.Printf("serve: %s failed: %v", id, err)

@@ -27,6 +27,7 @@ type Session struct {
 	shape     string
 	traceSeed int64
 	obs       Observer
+	metrics   *Metrics
 	runner    *engine.Runner
 
 	progress struct {
@@ -72,10 +73,17 @@ func New(opts ...Option) (*Session, error) {
 		shape:     st.shape,
 		traceSeed: st.trace.Seed,
 		obs:       st.observer,
+		metrics:   st.metrics,
 		runner:    engine.NewRunner(p),
 	}
 	if st.cache != nil {
 		s.runner.Persist = st.cache.impl
+	}
+	if st.metrics != nil {
+		s.runner.Obs = st.metrics.reg
+		if st.cache != nil {
+			st.cache.impl.Instrument(st.metrics.reg)
+		}
 	}
 	s.params = s.runner.Params()
 	if s.obs != nil {
