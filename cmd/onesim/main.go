@@ -9,6 +9,7 @@
 //	onesim -sched tiresias -gpus 32 -jobs 60 -interarrival 20
 //	onesim -sched ones -scenario diurnal+spot -pop 16 -verbose
 //	onesim -topology 4x8,2x4 -scenario rack-drain   # mixed fleet, rack failure
+//	onesim -sched tiresias -gpus 8 -scenario burst -autoscaler reactive-aggressive
 //	onesim -sched ones -json | jq .mean_jct_s
 //	onesim -cache-dir ~/.cache/onesim -sched ones   # rerun is instant
 //	onesim -sched ones -v                           # per-cell progress on stderr
@@ -63,6 +64,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	var (
 		sched        = fs.String("sched", "ones", "scheduler: "+strings.Join(ones.Schedulers(), "|"))
 		scenarioName = fs.String("scenario", "steady", `world model (compose with "+", e.g. "diurnal+spot")`)
+		autoscaler   = fs.String("autoscaler", "", `reactive autoscaling policy ("reactive-conservative", "reactive-aggressive", "reactive-emergency"); empty = no controller`)
 		gpus         = fs.Int("gpus", 64, "cluster capacity in GPUs (4 per server); ignored with -topology")
 		topology     = fs.String("topology", "", `heterogeneous cluster shape, e.g. "4x8,2x4" (COUNTxGPUS groups, one rack per group)`)
 		jobs         = fs.Int("jobs", 120, "number of jobs in the trace")
@@ -97,6 +99,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		ones.WithPopulation(*pop),
 		ones.WithEvolutionParallelism(*evoParallel),
 		ones.WithEventLog(*events),
+	}
+	if *autoscaler != "" {
+		opts = append(opts, ones.WithAutoscaler(*autoscaler))
 	}
 	if *cacheDir != "" {
 		cache, err := ones.NewCache(*cacheDir, func(format string, a ...any) {
@@ -145,6 +150,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	fmt.Fprintf(stdout, "scheduler   %s\n", res.Scheduler)
 	fmt.Fprintf(stdout, "scenario    %s\n", res.Scenario)
+	if res.Autoscaler != "" {
+		fmt.Fprintf(stdout, "autoscaler  %s (scale-ups: %d, scale-downs: %d)\n",
+			res.Autoscaler, res.ScaleUps, res.ScaleDowns)
+	}
 	if res.Shape != "" {
 		fmt.Fprintf(stdout, "topology    %s (%d GPUs", res.Shape, res.Capacity)
 		for _, rc := range res.Racks {

@@ -175,3 +175,41 @@ func TestCancelledRunJSONError(t *testing.T) {
 		t.Error("cancelled run emitted no error object")
 	}
 }
+
+// TestAutoscalerFlag: -autoscaler runs the closed loop and reports the
+// controller's activity in both output modes; a bogus name fails fast.
+func TestAutoscalerFlag(t *testing.T) {
+	args := []string{"-sched", "tiresias", "-gpus", "8", "-scenario", "burst",
+		"-autoscaler", "reactive-aggressive", "-jobs", "10", "-interarrival", "8", "-seed", "7"}
+	code, stdout, _ := runCLI(t, append([]string{"-json"}, args...)...)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stdout)
+	}
+	var res map[string]any
+	if err := json.Unmarshal([]byte(stdout), &res); err != nil {
+		t.Fatalf("stdout is not JSON: %v", err)
+	}
+	if res["autoscaler"] != "reactive-aggressive" {
+		t.Errorf("autoscaler = %v", res["autoscaler"])
+	}
+	if ups, _ := res["scale_ups"].(float64); ups == 0 {
+		t.Errorf("scale_ups = %v, want nonzero", res["scale_ups"])
+	}
+
+	code, stdout, _ = runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("plain mode exit %d", code)
+	}
+	if !strings.Contains(stdout, "autoscaler  reactive-aggressive") || !strings.Contains(stdout, "scale-ups") {
+		t.Errorf("plain report missing the autoscaler line:\n%s", stdout)
+	}
+
+	code, stdout, _ = runCLI(t, "-json", "-autoscaler", "bogus")
+	if code == 0 {
+		t.Fatal("unknown autoscaler exited 0")
+	}
+	var e map[string]string
+	if err := json.Unmarshal([]byte(stdout), &e); err != nil || !strings.Contains(e["error"], "bogus") {
+		t.Errorf("error object %v does not name the offending autoscaler", e)
+	}
+}

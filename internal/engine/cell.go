@@ -27,17 +27,29 @@ type Cell struct {
 	// and "2x4,4x8" are distinct cells — deliberately, since group order
 	// fixes the GPU axis and the rack ids and therefore the results.
 	Shape string
+	// Autoscaler, when non-empty, names an autoscale registry policy
+	// ("reactive-conservative", …) whose controller runs against the cell
+	// as a closed loop, growing and shrinking the cluster in reaction to
+	// observed pressure. Empty ⇒ no controller (capacity follows the
+	// scenario alone).
+	Autoscaler string
 }
 
 // String renders the cell for progress and error reporting.
 func (c Cell) String() string {
-	if c.Shape != "" {
-		return fmt.Sprintf("%s/%s/trace%d/%s", c.Scheduler, c.Shape, c.TraceSeed, c.Scenario)
+	s := ""
+	switch {
+	case c.Shape != "":
+		s = fmt.Sprintf("%s/%s/trace%d/%s", c.Scheduler, c.Shape, c.TraceSeed, c.Scenario)
+	case c.GPUsPer != 0 && c.GPUsPer != 4:
+		s = fmt.Sprintf("%s/%dgpu(%dper)/trace%d/%s", c.Scheduler, c.Capacity, c.GPUsPer, c.TraceSeed, c.Scenario)
+	default:
+		s = fmt.Sprintf("%s/%dgpu/trace%d/%s", c.Scheduler, c.Capacity, c.TraceSeed, c.Scenario)
 	}
-	if c.GPUsPer != 0 && c.GPUsPer != 4 {
-		return fmt.Sprintf("%s/%dgpu(%dper)/trace%d/%s", c.Scheduler, c.Capacity, c.GPUsPer, c.TraceSeed, c.Scenario)
+	if c.Autoscaler != "" {
+		s += "/" + c.Autoscaler
 	}
-	return fmt.Sprintf("%s/%dgpu/trace%d/%s", c.Scheduler, c.Capacity, c.TraceSeed, c.Scenario)
+	return s
 }
 
 // normalize resolves the cell's zero-value defaults against the params.
@@ -136,17 +148,34 @@ func (c Cell) scenarioSeed(master int64) int64 {
 	return deriveSeed(master, fmt.Sprintf("scenario|%s|%d|%s", c.topoKey(), c.TraceSeed, c.Scenario))
 }
 
+// drainSeed derives the stochastic rack-drain process seed. Like
+// scenarioSeed it excludes the scheduler (paired comparisons) but uses
+// its own namespace so the drain draws are independent of the
+// fail/preempt timeline draws.
+func (c Cell) drainSeed(master int64) int64 {
+	return deriveSeed(master, fmt.Sprintf("drain|%s|%d|%s", c.topoKey(), c.TraceSeed, c.Scenario))
+}
+
+// autoscalerSeed derives the reactive controller's seed (scale-down
+// server picks). It excludes the scheduler so paired comparisons face a
+// controller with the identical random tape — though, the loop being
+// closed, different schedulers may still drive it to different actions.
+func (c Cell) autoscalerSeed(master int64) int64 {
+	return deriveSeed(master, fmt.Sprintf("autoscale|%s|%d|%s|%s", c.topoKey(), c.TraceSeed, c.Scenario, c.Autoscaler))
+}
+
 // CellKey renders the canonical persistent-cache key for a cell under
 // the given params: every parameter that shapes the cell's result, in a
 // fixed order, after resolving the cell's zero-value defaults — so a
 // defaulted and an explicit spelling of the same cell share one entry.
 // Parameters that only affect throughput (Workers) or experiment
 // rendering (Capacities, ParamScale, CFPoints) are deliberately absent.
-// A heterogeneous shape appends a |shape= dimension; homogeneous cells
-// keep the exact key they had before shapes existed, so a cache
-// populated by an earlier build keeps serving them. The result-format
-// version lives in the cache layer (servecache), not here, so a format
-// bump invalidates files without renaming keys.
+// A heterogeneous shape appends a |shape= dimension and a reactive
+// autoscaler an |as= dimension; cells using neither keep the exact key
+// they had before those dimensions existed, so a cache populated by an
+// earlier build keeps serving them. The result-format version lives in
+// the cache layer (servecache), not here, so a format bump invalidates
+// files without renaming keys.
 func CellKey(p Params, c Cell) string {
 	c = c.normalize(p)
 	key := fmt.Sprintf("cell|seed=%d|jobs=%d|ia=%g|maxgpus=%d|pop=%d|theta=%g|events=%t|sched=%s|cap=%d|per=%d|trace=%d|scn=%s",
@@ -154,6 +183,9 @@ func CellKey(p Params, c Cell) string {
 		c.Scheduler, c.Capacity, c.GPUsPer, c.TraceSeed, c.Scenario)
 	if c.Shape != "" {
 		key += "|shape=" + c.Shape
+	}
+	if c.Autoscaler != "" {
+		key += "|as=" + c.Autoscaler
 	}
 	return key
 }
@@ -191,6 +223,24 @@ func ShapeCells(scheds, shapes []string, scenarioName string) []Cell {
 	for _, shape := range shapes {
 		for _, s := range scheds {
 			cells = append(cells, Cell{Scheduler: s, Shape: shape, Scenario: scenarioName})
+		}
+	}
+	return cells
+}
+
+// AutoscalerCells returns the scenario × autoscaler × scheduler cross
+// product at the given capacity: scenario-major, then autoscaler (an
+// empty autoscaler name is the controller-free baseline), then
+// scheduler — the row blocks of the reactive-sweep table. All cells
+// share the master trace seed, so every (scenario, autoscaler) pair of
+// one scheduler replays the identical job stream.
+func AutoscalerCells(scheds, autoscalers, scenarios []string, capacity int) []Cell {
+	cells := make([]Cell, 0, len(scheds)*len(autoscalers)*len(scenarios))
+	for _, scn := range scenarios {
+		for _, as := range autoscalers {
+			for _, s := range scheds {
+				cells = append(cells, Cell{Scheduler: s, Capacity: capacity, Scenario: scn, Autoscaler: as})
+			}
 		}
 	}
 	return cells

@@ -24,4 +24,5 @@ func init() {
 	engine.RegisterExperiment(fig18)
 	engine.RegisterExperiment(scenarioSweep)
 	engine.RegisterExperiment(hetero)
+	engine.RegisterExperiment(reactive)
 }

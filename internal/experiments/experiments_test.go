@@ -55,7 +55,7 @@ func TestByteIdenticalOutputAcrossWorkerCounts(t *testing.T) {
 
 func TestRegistryHasEveryPaperExperiment(t *testing.T) {
 	want := []string{"fig2", "fig3", "fig6", "table2", "table3", "fig13", "fig14",
-		"fig15", "table4", "fig16", "fig17", "fig18", "scenario", "hetero"}
+		"fig15", "table4", "fig16", "fig17", "fig18", "scenario", "hetero", "reactive"}
 	got := engine.ExperimentNames()
 	if len(got) != len(want) {
 		t.Fatalf("registered %d experiments %v, want %d", len(got), got, len(want))
@@ -208,5 +208,22 @@ func TestFullPipelineQuick(t *testing.T) {
 	}
 	if r.CachedCells() != warmed {
 		t.Errorf("rendering ran %d extra cells past the prewarm", r.CachedCells()-warmed)
+	}
+}
+
+// TestReactiveShape: the reactive sweep renders both scenarios, all four
+// policy rows, and at least one cell where the closed loop actually
+// scaled the fleet.
+func TestReactiveShape(t *testing.T) {
+	out := runExp(t, quickRunner(), "reactive")
+	for _, want := range []string{"scenario diurnal", "scenario burst",
+		"fixed-fleet", "conservative", "aggressive", "emergency", "scale up/dn"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("reactive output missing %q:\n%s", want, out)
+		}
+	}
+	// Every fixed-fleet row is 0/0; some reactive cell must not be.
+	if got := strings.Count(out, " 0/0"); got >= 8*len(engine.PaperSchedulers()) {
+		t.Errorf("no cell reports scale activity:\n%s", out)
 	}
 }

@@ -58,6 +58,13 @@ type CapacityEvent struct {
 	// physical size through repairs alone. Empty for planned joins,
 	// which are deliberate growth.
 	Restocks CapacityEventKind `json:"restocks,omitempty"`
+	// Origin identifies what produced the event: empty for planned
+	// timelines and chaos processes, OriginAutoscaler for events a
+	// reactive controller emitted. The simulator uses it to count
+	// controller-driven scaling separately; it never changes how the
+	// event applies. Omitted from JSON when empty, so pre-source cached
+	// results marshal exactly as before.
+	Origin string `json:"origin,omitempty"`
 }
 
 // DefaultHorizon bounds stochastic timeline generation: past it the
@@ -83,6 +90,15 @@ type CapacitySpec struct {
 	PreemptMTBF    float64 `json:"preempt_mtbf,omitempty"`
 	PreemptRestock float64 `json:"preempt_restock,omitempty"`
 
+	// DrainMTBF is the mean time between whole-rack drains in seconds
+	// (0 ⇒ none). Unlike the other stochastic processes each drain hits
+	// a random *live* rack — a choice that depends on simulation state,
+	// so the process runs as a DrainMTBFSource rather than a precomputed
+	// timeline (see Timeline, which ignores these fields). The drained
+	// rack powers back up DrainRestock seconds later (0 ⇒ lost).
+	DrainMTBF    float64 `json:"drain_mtbf,omitempty"`
+	DrainRestock float64 `json:"drain_restock,omitempty"`
+
 	// MinServers floors the cluster: removals that would shrink it below
 	// are skipped by the simulator (0 ⇒ 1).
 	MinServers int `json:"min_servers,omitempty"`
@@ -93,7 +109,7 @@ type CapacitySpec struct {
 
 // IsStatic reports whether the capacity never changes.
 func (c CapacitySpec) IsStatic() bool {
-	return len(c.Planned) == 0 && c.FailMTBF <= 0 && c.PreemptMTBF <= 0
+	return len(c.Planned) == 0 && c.FailMTBF <= 0 && c.PreemptMTBF <= 0 && c.DrainMTBF <= 0
 }
 
 // Timeline expands the spec into a concrete, time-sorted event list. The

@@ -49,14 +49,57 @@ func TestComposeThreeWay(t *testing.T) {
 
 func TestComposeRejectsConflicts(t *testing.T) {
 	cases := map[string][]string{
-		"two arrival processes": {Diurnal, Burst},
-		"two failure processes": {NodeFailure, NodeFailure},
-		"two preempt processes": {Spot, Spot},
+		"two arrival processes":  {Diurnal, Burst},
+		"two failure processes":  {NodeFailure, NodeFailure},
+		"two preempt processes":  {Spot, Spot},
+		"two drain processes":    {MTBFDrain, MTBFDrain},
+		"two planned timelines":  {Elastic, Elastic},
+		"two rackdrain bearers":  {RackDrain, MTBFDrain},
+		"planned rackdrain pair": {RackDrain, RackDrain},
 	}
 	for why, names := range cases {
 		if _, err := Compose(names...); !errors.Is(err, ErrIncompatible) {
 			t.Errorf("%s (%v): err = %v, want ErrIncompatible", why, names, err)
 		}
+	}
+}
+
+// Two capacity-bearing specs whose removal kinds cross-talk must be
+// rejected with a message that says why, not silently merged with one
+// timeline shadowing (or restocking) the other's losses.
+func TestComposeCapacityCrossTalkMessage(t *testing.T) {
+	_, err := Compose(RackDrain, MTBFDrain)
+	if !errors.Is(err, ErrIncompatible) {
+		t.Fatalf("err = %v, want ErrIncompatible", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{"rack-drain", "mtbf-drain", "rackdrain", "cross-talk"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention %q", msg, want)
+		}
+	}
+}
+
+// Capacity-bearing specs with disjoint removal kinds still merge: an
+// elastic planned schedule (leave) composes with spot preemptions
+// (preempt), node failures (fail), and stochastic rack drains
+// (rackdrain) all at once.
+func TestComposeDisjointCapacityBearers(t *testing.T) {
+	s, err := Compose(Elastic, Spot, NodeFailure, MTBFDrain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Capacity.Planned) == 0 {
+		t.Error("elastic planned events lost")
+	}
+	if s.Capacity.PreemptMTBF != 400 || s.Capacity.FailMTBF != 300 {
+		t.Errorf("stochastic processes lost: %+v", s.Capacity)
+	}
+	if s.Capacity.DrainMTBF != 1200 || s.Capacity.DrainRestock != 900 {
+		t.Errorf("drain process lost: %+v", s.Capacity)
+	}
+	if _, err := Compose(Diurnal, MTBFDrain); err != nil {
+		t.Errorf("diurnal+mtbf-drain should compose: %v", err)
 	}
 }
 

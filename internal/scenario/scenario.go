@@ -38,6 +38,7 @@ const (
 	Spot        = "spot"
 	NodeFailure = "node-failure"
 	RackDrain   = "rack-drain"
+	MTBFDrain   = "mtbf-drain"
 )
 
 var (
@@ -159,6 +160,15 @@ func init() {
 			FailMTBF:   300,
 			FailRepair: 900,
 			MinServers: 2,
+		},
+	})
+	Register(Spec{
+		Name:  MTBFDrain,
+		Title: "stochastic rack failures every ~1200 s, each drained rack repaired after 900 s",
+		Capacity: CapacitySpec{
+			DrainMTBF:    1200,
+			DrainRestock: 900,
+			MinServers:   2,
 		},
 	})
 	Register(Spec{

@@ -205,6 +205,15 @@ type Result struct {
 	RackDrainEvictions int `json:"RackDrainEvictions,omitempty"`
 	// CapacityEvents counts applied cluster topology changes.
 	CapacityEvents int
+	// ScaleUps counts applied cluster growth events emitted by a reactive
+	// autoscaler (scenario.OriginAutoscaler), ScaleDowns the removals, and
+	// AutoscaleEvents their total. Planned timelines and chaos processes
+	// never contribute. The json tags omit zeros so results from
+	// controller-free runs marshal exactly as before (cached cells stay
+	// valid).
+	ScaleUps        int `json:"ScaleUps,omitempty"`
+	ScaleDowns      int `json:"ScaleDowns,omitempty"`
+	AutoscaleEvents int `json:"AutoscaleEvents,omitempty"`
 	// BusyGPUSeconds accumulates Σ (seconds × GPUs held) over all jobs.
 	BusyGPUSeconds float64
 	// TotalGPUs is the initial cluster capacity, for reporting.
@@ -277,6 +286,14 @@ type Config struct {
 	// leaving while the trace replays. Jobs holding GPUs on a removed
 	// server are evicted and requeued. Empty ⇒ the cluster is fixed.
 	Capacity []scenario.CapacityEvent
+	// Source generalizes Capacity to state-dependent event producers
+	// (reactive autoscalers, stochastic rack drains): the simulator
+	// consults it at its requested wake times with a read-only
+	// ClusterView and applies whatever events it returns. At most one of
+	// Capacity and Source may be set. A bare *scenario.TimelineSource is
+	// unwrapped onto the exact precomputed-timeline path, so wrapping a
+	// timeline changes nothing about the run.
+	Source scenario.CapacitySource
 	// MinServers floors the cluster size; removals that would shrink it
 	// below are skipped (0 ⇒ 1).
 	MinServers int
@@ -362,10 +379,18 @@ type engine struct {
 	viewSched    *cluster.Schedule
 	throughputFn func(id cluster.JobID, B, c, servers int) float64
 
+	// source, when set, produces capacity events at its own wake times
+	// (reactive autoscaling, stochastic drains); wake events carry seq -1
+	// to distinguish them from precomputed-timeline indices.
+	source scenario.CapacitySource
+
 	reconfigs          int
 	evictions          int
 	rackDrainEvictions int
 	capacityEvents     int
+	scaleUps           int
+	scaleDowns         int
+	autoscaleEvents    int
 	busyGPUSeconds     float64
 	capGPUSeconds      float64 // ∫ capacity dt, closed at each topology change
 	capSegStart        float64 // when the current capacity segment began
@@ -448,13 +473,29 @@ func RunContext(ctx context.Context, cfg Config, sched Scheduler) (*Result, erro
 	if iv := sched.TickInterval(); iv > 0 {
 		e.events.push(event{t: iv, kind: evTick})
 	}
-	if len(cfg.Capacity) > 0 {
+	if cfg.Source != nil {
+		if len(cfg.Capacity) > 0 {
+			return nil, fmt.Errorf("simulator: both Capacity and Source set; wrap the timeline in a scenario.TimelineSource and compose with scenario.Sources instead")
+		}
+		if ts, ok := cfg.Source.(*scenario.TimelineSource); ok {
+			// A bare timeline replays on the exact precomputed path below,
+			// keeping pre-source results byte-identical.
+			e.cfg.Capacity = ts.Events()
+		} else {
+			e.source = cfg.Source
+			e.restockable = make(map[scenario.CapacityEventKind][]cluster.ServerSpec)
+			if wake := e.source.NextWake(-1); wake >= 0 && wake <= cfg.MaxTime {
+				e.events.push(event{t: wake, kind: evCapacity, seq: -1})
+			}
+		}
+	}
+	if len(e.cfg.Capacity) > 0 {
 		e.restockable = make(map[scenario.CapacityEventKind][]cluster.ServerSpec)
 	}
-	for i, cev := range cfg.Capacity {
-		if i > 0 && cev.Time < cfg.Capacity[i-1].Time {
+	for i, cev := range e.cfg.Capacity {
+		if i > 0 && cev.Time < e.cfg.Capacity[i-1].Time {
 			return nil, fmt.Errorf("simulator: capacity timeline out of order at %d (%v after %v)",
-				i, cev.Time, cfg.Capacity[i-1].Time)
+				i, cev.Time, e.cfg.Capacity[i-1].Time)
 		}
 		if cev.Time <= cfg.MaxTime {
 			e.events.push(event{t: cev.Time, kind: evCapacity, seq: i})
@@ -477,6 +518,9 @@ func RunContext(ctx context.Context, cfg Config, sched Scheduler) (*Result, erro
 		Jobs:               e.metrics,
 		Makespan:           e.now,
 		Reconfigs:          e.reconfigs,
+		ScaleUps:           e.scaleUps,
+		ScaleDowns:         e.scaleDowns,
+		AutoscaleEvents:    e.autoscaleEvents,
 		Evictions:          e.evictions,
 		RackDrainEvictions: e.rackDrainEvictions,
 		CapacityEvents:     e.capacityEvents,
@@ -545,10 +589,36 @@ func (e *engine) loop() error {
 				e.events.push(event{t: e.now + e.sched.TickInterval(), kind: evTick})
 			}
 		case evCapacity:
-			if e.applyCapacity(e.cfg.Capacity[ev.seq]) {
-				if err := e.decide(TriggerCapacity); err != nil {
-					return err
+			if ev.seq >= 0 {
+				if e.applyCapacity(e.cfg.Capacity[ev.seq]) {
+					if err := e.decide(TriggerCapacity); err != nil {
+						return err
+					}
 				}
+				continue
+			}
+			// Source wake (seq -1): consult the source with a fresh cluster
+			// view, apply what it returns one event at a time — the
+			// scheduler reacts after each applied change, exactly as on the
+			// timeline path — then schedule the next wake.
+			for _, cev := range e.source.Next(e.now, e.clusterView()) {
+				applied := e.applyCapacity(cev)
+				if applied && cev.Origin == scenario.OriginAutoscaler {
+					e.autoscaleEvents++
+					if cev.Kind == scenario.CapacityJoin {
+						e.scaleUps++
+					} else {
+						e.scaleDowns++
+					}
+				}
+				if applied {
+					if err := e.decide(TriggerCapacity); err != nil {
+						return err
+					}
+				}
+			}
+			if wake := e.source.NextWake(e.now); wake > e.now && wake <= e.cfg.MaxTime {
+				e.events.push(event{t: wake, kind: evCapacity, seq: -1})
 			}
 		}
 		if e.allDone() {
@@ -751,6 +821,30 @@ func (e *engine) applyCapacity(cev scenario.CapacityEvent) bool {
 	e.capacityEvents++
 	e.logEvent(Event{Time: e.now, Kind: EventCapacity, GPUs: e.topo.TotalGPUs()})
 	return true
+}
+
+// clusterView snapshots the observable cluster state for a capacity
+// source. Like the scheduler's View it contains no oracle knowledge:
+// queue depth and pending GPU demand are what a production autoscaler
+// would see on its dashboards.
+func (e *engine) clusterView() scenario.ClusterView {
+	v := scenario.ClusterView{
+		Now:       e.now,
+		Servers:   e.topo.NumServers(),
+		TotalGPUs: e.topo.TotalGPUs(),
+		BusyGPUs:  e.topo.TotalGPUs() - e.current.NumIdle(),
+		LiveRacks: e.topo.Racks(),
+	}
+	for _, id := range e.order {
+		js := e.jobs[id]
+		if js.running() {
+			v.RunningJobs++
+		} else {
+			v.QueuedJobs++
+			v.PendingGPUs += js.spec.ReqGPUs
+		}
+	}
+	return v
 }
 
 // evictJob forces a job off its GPUs after a server loss, reporting

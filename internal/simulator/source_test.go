@@ -1,0 +1,97 @@
+package simulator
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// elasticTimeline is a small planned schedule with same-time events, the
+// case where wake-batch semantics could diverge from the per-index path.
+func elasticTimeline() []scenario.CapacityEvent {
+	return []scenario.CapacityEvent{
+		{Time: 60, Kind: scenario.CapacityLeave, Pick: 0.999},
+		{Time: 60, Kind: scenario.CapacityLeave, Pick: 0.5},
+		{Time: 300, Kind: scenario.CapacityJoin, Servers: 2},
+		{Time: 500, Kind: scenario.CapacityFail, Pick: 0.1},
+		{Time: 900, Kind: scenario.CapacityJoin, Servers: 1, Restocks: scenario.CapacityFail},
+	}
+}
+
+// The three ways of feeding the same timeline — the Capacity slice, a
+// bare TimelineSource (unwrapped onto the slice path), and a TimelineSource
+// forced through the generic wake path by composing it with a second
+// (empty) source — must yield identical Results, or the CapacitySource
+// refactor changed planned-scenario physics.
+func TestSourcePathsEquivalent(t *testing.T) {
+	run := func(mutate func(*Config)) *Result {
+		cfg := smallConfig(t, 10)
+		cfg.MinServers = 1
+		mutate(&cfg)
+		res, err := Run(cfg, &fifoTest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	viaSlice := run(func(c *Config) { c.Capacity = elasticTimeline() })
+	viaSource := run(func(c *Config) { c.Source = scenario.NewTimelineSource(elasticTimeline()) })
+	viaWake := run(func(c *Config) {
+		c.Source = scenario.Sources(
+			scenario.NewTimelineSource(elasticTimeline()),
+			scenario.NewTimelineSource(nil), // forces the multi-source wake path
+		)
+	})
+	if viaSlice.CapacityEvents == 0 || viaSlice.Evictions == 0 {
+		t.Fatalf("timeline had no effect (events=%d evictions=%d) — equivalence would be vacuous",
+			viaSlice.CapacityEvents, viaSlice.Evictions)
+	}
+	if !reflect.DeepEqual(viaSlice, viaSource) {
+		t.Errorf("bare TimelineSource diverged from Capacity slice:\n%+v\nvs\n%+v", viaSource, viaSlice)
+	}
+	if !reflect.DeepEqual(viaSlice, viaWake) {
+		t.Errorf("wake-path source diverged from Capacity slice:\n%+v\nvs\n%+v", viaWake, viaSlice)
+	}
+	if viaWake.ScaleUps != 0 || viaWake.ScaleDowns != 0 || viaWake.AutoscaleEvents != 0 {
+		t.Errorf("timeline events counted as autoscaler activity: %+v", viaWake)
+	}
+}
+
+func TestCapacityAndSourceMutuallyExclusive(t *testing.T) {
+	cfg := smallConfig(t, 4)
+	cfg.Capacity = elasticTimeline()
+	cfg.Source = scenario.NewTimelineSource(nil)
+	_, err := Run(cfg, &fifoTest{})
+	if err == nil || !strings.Contains(err.Error(), "both Capacity and Source") {
+		t.Fatalf("err = %v, want rejection of double capacity feed", err)
+	}
+}
+
+func TestDrainMTBFSourceEndToEnd(t *testing.T) {
+	spec := scenario.CapacitySpec{DrainMTBF: 150, DrainRestock: 200, MinServers: 1}
+	run := func() *Result {
+		cfg := mixedConfig(t, 10)
+		cfg.MinServers = spec.MinServers
+		cfg.Source = scenario.NewDrainMTBFSource(spec, 11, cfg.MaxTime)
+		res, err := Run(cfg, &fifoTest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+	if res.CapacityEvents == 0 {
+		t.Fatal("stochastic drain process produced no topology changes")
+	}
+	if res.RackDrainEvictions == 0 {
+		t.Error("drains over a busy multi-rack cluster evicted nothing")
+	}
+	if res.ScaleUps != 0 || res.ScaleDowns != 0 {
+		t.Errorf("chaos drains counted as autoscaler activity: %+v", res)
+	}
+	if again := run(); !reflect.DeepEqual(res, again) {
+		t.Error("same (spec, seed) drain run is not deterministic")
+	}
+}

@@ -1,0 +1,99 @@
+package ones
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestNewRejectsUnknownAutoscaler(t *testing.T) {
+	_, err := New(WithAutoscaler("no-such-controller"))
+	if !errors.Is(err, ErrUnknownAutoscaler) {
+		t.Fatalf("err = %v, want ErrUnknownAutoscaler", err)
+	}
+	if !strings.Contains(err.Error(), "reactive-conservative") {
+		t.Errorf("error does not list known autoscalers: %v", err)
+	}
+}
+
+func TestAutoscalersListing(t *testing.T) {
+	infos := Autoscalers()
+	if len(infos) < 3 {
+		t.Fatalf("Autoscalers() = %v", infos)
+	}
+	names := map[string]bool{}
+	for _, info := range infos {
+		if info.Name == "" || info.Title == "" {
+			t.Errorf("autoscaler info incomplete: %+v", info)
+		}
+		names[info.Name] = true
+	}
+	for _, want := range []string{"reactive-conservative", "reactive-aggressive", "reactive-emergency"} {
+		if !names[want] {
+			t.Errorf("Autoscalers() missing %q: %v", want, infos)
+		}
+	}
+}
+
+// reactiveSession mirrors the engine acceptance cell through the SDK: a
+// burst of jobs overloading a 2-server cluster, so the controller must
+// both grow and later shrink the fleet.
+func reactiveSession(t *testing.T, extra ...Option) *Session {
+	t.Helper()
+	opts := append([]Option{
+		WithScheduler("tiresias"),
+		WithTopology(2, 4),
+		WithScenario("burst"),
+		WithTrace(Trace{Jobs: 10, MeanInterarrival: 8, MaxGPUs: 4}),
+		WithSeed(7),
+	}, extra...)
+	s, err := New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAutoscalerRunThroughSDK(t *testing.T) {
+	res, err := reactiveSession(t, WithAutoscaler("reactive-aggressive")).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Autoscaler != "reactive-aggressive" {
+		t.Errorf("Autoscaler = %q", res.Autoscaler)
+	}
+	if res.ScaleUps == 0 || res.ScaleDowns == 0 {
+		t.Errorf("closed loop inert through the SDK: ups=%d downs=%d events=%d",
+			res.ScaleUps, res.ScaleDowns, res.CapacityEvents)
+	}
+	if res.AutoscaleEvents != res.ScaleUps+res.ScaleDowns {
+		t.Errorf("AutoscaleEvents %d != %d + %d", res.AutoscaleEvents, res.ScaleUps, res.ScaleDowns)
+	}
+
+	baseline, err := reactiveSession(t).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.Autoscaler != "" || baseline.ScaleUps != 0 || baseline.ScaleDowns != 0 || baseline.AutoscaleEvents != 0 {
+		t.Errorf("controller-free baseline reports autoscaler state: %+v", baseline)
+	}
+	if reflect.DeepEqual(baseline.Jobs, res.Jobs) {
+		t.Error("controller had no effect on per-job outcomes")
+	}
+}
+
+func TestAutoscalerRunDeterministic(t *testing.T) {
+	a, err := reactiveSession(t, WithAutoscaler("reactive-conservative"), WithWorkers(1)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := reactiveSession(t, WithAutoscaler("reactive-conservative"), WithWorkers(4)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("reactive SDK runs differ across worker counts:\n%+v\nvs\n%+v", a, b)
+	}
+}

@@ -1,6 +1,7 @@
 package ones
 
 import (
+	"repro/internal/autoscale"
 	"repro/internal/engine"
 	"repro/internal/scenario"
 	"repro/internal/schedulers"
@@ -21,6 +22,9 @@ var (
 	// claim the same dimension of the world (two arrival processes, two
 	// failure processes, …).
 	ErrIncompatibleScenarios = scenario.ErrIncompatible
+	// ErrUnknownAutoscaler marks an autoscaler policy name absent from
+	// the registry (see Autoscalers).
+	ErrUnknownAutoscaler = autoscale.ErrUnknown
 	// ErrUnknownExperiment marks an experiment name absent from the
 	// registry (see Session.Experiments).
 	ErrUnknownExperiment = engine.ErrUnknownExperiment

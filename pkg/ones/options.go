@@ -10,17 +10,18 @@ import (
 // settings accumulate the functional options into the engine parameters
 // plus the session-level simulation shape.
 type settings struct {
-	params    engine.Params
-	scheduler string
-	scenario  string
-	servers   int
-	gpusPer   int
-	shape     string
-	trace     Trace
-	observer  Observer
-	cache     *Cache
-	metrics   *Metrics
-	err       error // first option-validation failure, surfaced by New
+	params     engine.Params
+	scheduler  string
+	scenario   string
+	autoscaler string
+	servers    int
+	gpusPer    int
+	shape      string
+	trace      Trace
+	observer   Observer
+	cache      *Cache
+	metrics    *Metrics
+	err        error // first option-validation failure, surfaced by New
 }
 
 // Option configures a Session under construction. Options are applied in
@@ -46,6 +47,14 @@ func WithScheduler(name string) Option {
 // "steady", the paper's fixed testbed.
 func WithScenario(name string) Option {
 	return func(s *settings) { s.scenario = name }
+}
+
+// WithAutoscaler attaches a reactive autoscaling controller by registry
+// name (see Autoscalers). The controller observes cluster pressure at a
+// fixed cadence and grows or shrinks the server fleet in a closed loop —
+// no pre-planned capacity timeline. The default is "" (no controller).
+func WithAutoscaler(name string) Option {
+	return func(s *settings) { s.autoscaler = name }
 }
 
 // WithTopology shapes the cluster: servers homogeneous servers of

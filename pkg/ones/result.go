@@ -53,7 +53,10 @@ type RackCapacity struct {
 type Result struct {
 	Scheduler string `json:"scheduler"` // display name, e.g. "ONES"
 	Scenario  string `json:"scenario"`
-	Capacity  int    `json:"capacity_gpus"` // initial cluster capacity
+	// Autoscaler is the reactive controller policy the run was under (see
+	// WithAutoscaler); empty when no controller ran.
+	Autoscaler string `json:"autoscaler,omitempty"`
+	Capacity   int    `json:"capacity_gpus"` // initial cluster capacity
 	// Shape is the heterogeneous cluster shape the run simulated (see
 	// WithShape); empty for homogeneous topologies.
 	Shape string `json:"shape,omitempty"`
@@ -87,6 +90,13 @@ type Result struct {
 	RackDrainEvictions int `json:"rack_drain_evictions,omitempty"`
 	// CapacityEvents counts applied cluster topology changes.
 	CapacityEvents int `json:"capacity_events,omitempty"`
+	// ScaleUps / ScaleDowns count the autoscaling controller's applied
+	// grow / shrink actions; AutoscaleEvents is their sum. All zero when
+	// no autoscaler ran (scenario-driven capacity changes count only in
+	// CapacityEvents).
+	ScaleUps        int `json:"scale_ups,omitempty"`
+	ScaleDowns      int `json:"scale_downs,omitempty"`
+	AutoscaleEvents int `json:"autoscale_events,omitempty"`
 
 	// Truncated is true when the simulation's time cap elapsed with jobs
 	// still unfinished; their metrics are absent from Jobs.
@@ -130,6 +140,7 @@ func newResult(cell engine.Cell, p engine.Params, res *simulator.Result) *Result
 	out := &Result{
 		Scheduler:          res.Scheduler,
 		Scenario:           scenarioName,
+		Autoscaler:         cell.Autoscaler,
 		Capacity:           capacity,
 		Shape:              cell.Shape,
 		TraceSeed:          seed,
@@ -145,6 +156,9 @@ func newResult(cell engine.Cell, p engine.Params, res *simulator.Result) *Result
 		Evictions:          res.Evictions,
 		RackDrainEvictions: res.RackDrainEvictions,
 		CapacityEvents:     res.CapacityEvents,
+		ScaleUps:           res.ScaleUps,
+		ScaleDowns:         res.ScaleDowns,
+		AutoscaleEvents:    res.AutoscaleEvents,
 		Truncated:          res.Truncated,
 		Unfinished:         res.Unfinished,
 	}

@@ -76,6 +76,7 @@ func (s *Server) Handler() http.Handler {
 	route("GET /v1/runs/{id}/trace", s.handleTrace)
 	route("GET /v1/schedulers", s.handleSchedulers)
 	route("GET /v1/scenarios", s.handleScenarios)
+	route("GET /v1/autoscalers", s.handleAutoscalers)
 	route("GET /v1/experiments", s.handleExperiments)
 	route("GET /v1/cache", s.handleCache)
 	route("DELETE /v1/cache", s.handleCacheReset)
@@ -129,7 +130,8 @@ func (s *Server) handleCreate(w http.ResponseWriter, req *http.Request) {
 		switch {
 		case errors.Is(err, ErrShuttingDown):
 			code = http.StatusServiceUnavailable
-		case errors.Is(err, ones.ErrUnknownScheduler), errors.Is(err, ones.ErrUnknownScenario):
+		case errors.Is(err, ones.ErrUnknownScheduler), errors.Is(err, ones.ErrUnknownScenario),
+			errors.Is(err, ones.ErrUnknownAutoscaler):
 			code = http.StatusUnprocessableEntity
 		}
 		writeError(w, code, err)
@@ -253,6 +255,21 @@ func (s *Server) handleScenarios(w http.ResponseWriter, req *http.Request) {
 		out[i] = scenarioInfo{Name: sp.Name, Title: sp.Title, Arrival: sp.Arrival, ElasticCapacity: sp.ElasticCapacity}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"scenarios": out})
+}
+
+// autoscalerInfo is the JSON view of one registered autoscaler policy.
+type autoscalerInfo struct {
+	Name  string `json:"name"`
+	Title string `json:"title"`
+}
+
+func (s *Server) handleAutoscalers(w http.ResponseWriter, req *http.Request) {
+	policies := ones.Autoscalers()
+	out := make([]autoscalerInfo, len(policies))
+	for i, p := range policies {
+		out[i] = autoscalerInfo{Name: p.Name, Title: p.Title}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"autoscalers": out})
 }
 
 // experimentInfo is the JSON view of one registered experiment.

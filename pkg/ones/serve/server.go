@@ -46,8 +46,11 @@ func WithMetrics(m *ones.Metrics) Option {
 // ("4x8,2x4": per-server GPU counts, one rack per comma group — see
 // ones.WithShape) and overrides Servers/GPUsPerServer when set.
 type RunSpec struct {
-	Scheduler     string  `json:"scheduler,omitempty"`
-	Scenario      string  `json:"scenario,omitempty"`
+	Scheduler string `json:"scheduler,omitempty"`
+	Scenario  string `json:"scenario,omitempty"`
+	// Autoscaler attaches a reactive autoscaling controller by registry
+	// name (see GET /v1/autoscalers and ones.WithAutoscaler).
+	Autoscaler    string  `json:"autoscaler,omitempty"`
 	Servers       int     `json:"servers,omitempty"`
 	GPUsPerServer int     `json:"gpus_per_server,omitempty"`
 	Shape         string  `json:"shape,omitempty"`
@@ -76,6 +79,9 @@ func (sp RunSpec) options(obs ones.Observer, cache *ones.Cache) []ones.Option {
 	}
 	if sp.Scenario != "" {
 		opts = append(opts, ones.WithScenario(sp.Scenario))
+	}
+	if sp.Autoscaler != "" {
+		opts = append(opts, ones.WithAutoscaler(sp.Autoscaler))
 	}
 	if sp.Servers != 0 || sp.GPUsPerServer != 0 {
 		servers, per := sp.Servers, sp.GPUsPerServer

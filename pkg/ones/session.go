@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/autoscale"
 	"repro/internal/engine"
 	_ "repro/internal/experiments" // populate the experiment registry
 	"repro/internal/scenario"
@@ -19,16 +20,17 @@ import (
 // simulation cell runs at most once per session however many calls
 // request it.
 type Session struct {
-	params    engine.Params
-	scheduler string
-	scenario  string
-	servers   int
-	gpusPer   int
-	shape     string
-	traceSeed int64
-	obs       Observer
-	metrics   *Metrics
-	runner    *engine.Runner
+	params     engine.Params
+	scheduler  string
+	scenario   string
+	autoscaler string
+	servers    int
+	gpusPer    int
+	shape      string
+	traceSeed  int64
+	obs        Observer
+	metrics    *Metrics
+	runner     *engine.Runner
 
 	progress struct {
 		sync.Mutex
@@ -38,9 +40,10 @@ type Session struct {
 }
 
 // New builds a Session from functional options (see the With… Option
-// constructors). Scheduler and scenario names are validated eagerly:
-// unknown names fail here with errors wrapping ErrUnknownScheduler /
-// ErrUnknownScenario rather than on first Run.
+// constructors). Scheduler, scenario and autoscaler names are validated
+// eagerly: unknown names fail here with errors wrapping
+// ErrUnknownScheduler / ErrUnknownScenario / ErrUnknownAutoscaler rather
+// than on first Run.
 func New(opts ...Option) (*Session, error) {
 	st := settings{scheduler: "ones", scenario: scenario.Steady}
 	for _, o := range opts {
@@ -55,6 +58,11 @@ func New(opts ...Option) (*Session, error) {
 	if _, err := scenario.Get(st.scenario); err != nil {
 		return nil, err
 	}
+	if st.autoscaler != "" {
+		if _, err := autoscale.Get(st.autoscaler); err != nil {
+			return nil, err
+		}
+	}
 	p := st.params
 	if st.trace.Jobs > 0 {
 		p.Jobs = st.trace.Jobs
@@ -66,15 +74,16 @@ func New(opts ...Option) (*Session, error) {
 		p.MaxGPUs = st.trace.MaxGPUs
 	}
 	s := &Session{
-		scheduler: st.scheduler,
-		scenario:  st.scenario,
-		servers:   st.servers,
-		gpusPer:   st.gpusPer,
-		shape:     st.shape,
-		traceSeed: st.trace.Seed,
-		obs:       st.observer,
-		metrics:   st.metrics,
-		runner:    engine.NewRunner(p),
+		scheduler:  st.scheduler,
+		scenario:   st.scenario,
+		autoscaler: st.autoscaler,
+		servers:    st.servers,
+		gpusPer:    st.gpusPer,
+		shape:      st.shape,
+		traceSeed:  st.trace.Seed,
+		obs:        st.observer,
+		metrics:    st.metrics,
+		runner:     engine.NewRunner(p),
 	}
 	if st.cache != nil {
 		s.runner.Persist = st.cache.impl
@@ -164,12 +173,13 @@ func (s *Session) cellProgress(kind ProgressKind, cell engine.Cell, elapsed time
 // scheduler.
 func (s *Session) cell(scheduler string) engine.Cell {
 	return engine.Cell{
-		Scheduler: scheduler,
-		Capacity:  s.servers * s.gpusPer,
-		GPUsPer:   s.gpusPer,
-		Shape:     s.shape,
-		TraceSeed: s.traceSeed,
-		Scenario:  s.scenario,
+		Scheduler:  scheduler,
+		Capacity:   s.servers * s.gpusPer,
+		GPUsPer:    s.gpusPer,
+		Shape:      s.shape,
+		TraceSeed:  s.traceSeed,
+		Scenario:   s.scenario,
+		Autoscaler: s.autoscaler,
 	}
 }
 
@@ -322,6 +332,23 @@ func Scenarios() []ScenarioInfo {
 			Arrival:         sp.Arrival.String(),
 			ElasticCapacity: !sp.Capacity.IsStatic(),
 		}
+	}
+	return out
+}
+
+// AutoscalerInfo describes one registered autoscaler policy.
+type AutoscalerInfo struct {
+	Name  string
+	Title string
+}
+
+// Autoscalers lists the registered reactive autoscaler policies sorted
+// by name. Any of these names is accepted by WithAutoscaler.
+func Autoscalers() []AutoscalerInfo {
+	policies := autoscale.Policies()
+	out := make([]AutoscalerInfo, len(policies))
+	for i, p := range policies {
+		out[i] = AutoscalerInfo{Name: p.Name, Title: p.Title}
 	}
 	return out
 }
