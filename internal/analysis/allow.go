@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowDirective is the escape hatch:
+//
+//	//ones:allow <analyzer> <reason>
+//
+// on the offending line, or on the line directly above it, suppresses
+// that analyzer's findings there. The reason is mandatory: every
+// exemption must say why the invariant deliberately bends.
+const allowPrefix = "//ones:allow"
+
+// allowSet maps (file, analyzer) to the set of source lines carrying an
+// allow directive.
+type allowSet map[string]map[string]map[int]bool
+
+// covers reports whether d is suppressed by a directive on its line or
+// the line above.
+func (s allowSet) covers(d Diagnostic) bool {
+	lines := s[d.Pos.Filename][d.Analyzer]
+	return lines[d.Pos.Line] || lines[d.Pos.Line-1]
+}
+
+// collectAllows scans every comment of the package for allow directives.
+// Malformed directives — an unknown analyzer name or a missing reason —
+// are returned as findings under the "allow" pseudo-analyzer: a typo
+// must fail the build, not silently disable a check.
+func collectAllows(pkg *Package) (allowSet, []Diagnostic) {
+	set := make(allowSet)
+	var bad []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		bad = append(bad, Diagnostic{Pos: pkg.Fset.Position(pos), Analyzer: "allow", Message: msg})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					continue
+				}
+				// "//ones:allowX" is some other (future) directive only if
+				// the next rune isn't a space; require a space here.
+				if text != "" && !strings.HasPrefix(text, " ") {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					report(c.Pos(), "//ones:allow needs an analyzer name and a reason")
+					continue
+				}
+				name := fields[0]
+				if byName(name) == nil {
+					report(c.Pos(), "//ones:allow names unknown analyzer "+name)
+					continue
+				}
+				if len(fields) < 2 {
+					report(c.Pos(), "//ones:allow "+name+" needs a reason — say why the invariant bends here")
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byAnalyzer := set[pos.Filename]
+				if byAnalyzer == nil {
+					byAnalyzer = make(map[string]map[int]bool)
+					set[pos.Filename] = byAnalyzer
+				}
+				lines := byAnalyzer[name]
+				if lines == nil {
+					lines = make(map[int]bool)
+					byAnalyzer[name] = lines
+				}
+				lines[pos.Line] = true
+			}
+		}
+	}
+	return set, bad
+}
+
+// directiveLine reports whether a comment group contains a line starting
+// with the given directive prefix (e.g. "//ones:nilsafe"), used by the
+// marker-driven analyzers.
+func directiveLine(cg *ast.CommentGroup, prefix string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if c.Text == prefix || strings.HasPrefix(c.Text, prefix+" ") {
+			return true
+		}
+	}
+	return false
+}

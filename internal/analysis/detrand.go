@@ -1,0 +1,299 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Detrand forbids the three nondeterminism vectors that have bitten (or
+// nearly bitten) this repo's byte-identical-results contract, inside the
+// determinism-critical packages:
+//
+//   - wall-clock reads (time.Now, time.Since, …) — simulated time is the
+//     only clock a simulation path may consult;
+//   - the process-global math/rand source (rand.Intn, rand.Float64, …,
+//     and rand.Seed) — every draw must come from a *rand.Rand seeded off
+//     the cell key;
+//   - map-range iteration that feeds slice appends or floating-point
+//     accumulators with loop-derived values — Go randomizes map order,
+//     so such loops change results run to run unless the appended slice
+//     is sorted afterwards in the same function.
+//
+// Packages outside the critical list — notably internal/obs and
+// internal/runtime, whose whole point is wall time — are exempt, as are
+// all _test.go files (never loaded). Intentional uses inside the
+// critical list (an obs-only wall-time measurement, say) carry
+// //ones:allow detrand <reason>.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid wall-clock, global math/rand and order-dependent map iteration in determinism-critical packages",
+	Run:  runDetrand,
+}
+
+// detrandCritical lists the import-path suffixes of the packages whose
+// code runs inside (or derives inputs for) the deterministic simulation
+// path. internal/obs and internal/runtime are deliberately absent: obs
+// measures wall time by design and the live mini-cluster runs real
+// goroutines against the real clock.
+var detrandCritical = []string{
+	"internal/simulator",
+	"internal/evolution",
+	"internal/engine",
+	"internal/scenario",
+	"internal/autoscale",
+	"internal/schedulers",
+	"internal/cluster",
+	"internal/workload",
+}
+
+// wallClockFuncs are the time package functions that read or schedule
+// off the wall clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true, "NewTicker": true, "NewTimer": true,
+}
+
+// seededRandFuncs are the math/rand constructors that are fine to call:
+// they build an explicitly seeded source instead of drawing from the
+// process-global one.
+var seededRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDetrand(pass *Pass) {
+	critical := false
+	for _, suffix := range detrandCritical {
+		if strings.HasSuffix(pass.Pkg.ImportPath, suffix) {
+			critical = true
+			break
+		}
+	}
+	if !critical {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkForbiddenSelector(pass, n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkMapRanges(pass, n.Body)
+				}
+				return true
+			}
+			return true
+		})
+	}
+}
+
+// pkgOf resolves the package an ident qualifies, or "" when the ident is
+// not a package name.
+func pkgOf(pass *Pass, x ast.Expr) string {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// checkForbiddenSelector flags wall-clock and global-math/rand selector
+// uses (calls and function values alike).
+func checkForbiddenSelector(pass *Pass, sel *ast.SelectorExpr) {
+	switch pkgOf(pass, sel.X) {
+	case "time":
+		if wallClockFuncs[sel.Sel.Name] {
+			pass.Reportf(sel.Pos(), "time.%s reads the wall clock in a determinism-critical package; use simulated time (or //ones:allow detrand for obs-only measurement)", sel.Sel.Name)
+		}
+	case "math/rand", "math/rand/v2":
+		if _, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func); ok && !seededRandFuncs[sel.Sel.Name] {
+			pass.Reportf(sel.Pos(), "rand.%s draws from the process-global source; draw from a *rand.Rand seeded off the cell key instead", sel.Sel.Name)
+		}
+	}
+}
+
+// checkMapRanges walks a function body looking for map-range loops whose
+// bodies feed loop-derived values into outer slices or floating-point
+// accumulators.
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	// sortedIdents collects every object passed to a sort.* / slices.*
+	// call anywhere in the function: appending map keys to a slice and
+	// sorting it afterwards is THE deterministic iteration idiom and must
+	// not be flagged.
+	sorted := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch pkgOf(pass, sel.X) {
+		case "sort", "slices":
+			for _, arg := range call.Args {
+				for _, id := range identsIn(arg) {
+					if obj := pass.Pkg.Info.Uses[id]; obj != nil {
+						sorted[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.Pkg.Info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(pass, rng, sorted)
+		return true
+	})
+}
+
+// checkMapRangeBody flags order-dependent sinks inside one map-range
+// loop. A sink is order-dependent when it writes a loop-derived value
+// (one that references the range variables or anything declared inside
+// the loop) into state that outlives the loop.
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt, sorted map[types.Object]bool) {
+	info := pass.Pkg.Info
+	// loopLocal: objects declared within the range statement — the range
+	// key/value and any body-local derivations of them.
+	loopLocal := func(obj types.Object) bool {
+		return obj != nil && obj.Pos() >= rng.Pos() && obj.Pos() < rng.End()
+	}
+	derived := func(e ast.Expr) bool {
+		for _, id := range identsIn(e) {
+			if obj := info.Uses[id]; loopLocal(obj) {
+				return true
+			}
+		}
+		return false
+	}
+	outer := func(e ast.Expr) bool {
+		switch e := e.(type) {
+		case *ast.Ident:
+			obj := info.Uses[e]
+			if obj == nil {
+				obj = info.Defs[e]
+			}
+			return obj != nil && !loopLocal(obj)
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			// Field, element and pointer targets outlive the loop unless
+			// their root is loop-local.
+			return !derived(rootExpr(e))
+		}
+		return false
+	}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ASSIGN, token.DEFINE:
+			// s = append(s, v) with v loop-derived and s outer.
+			for i, rhs := range as.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(info, call) || len(call.Args) < 2 {
+					continue
+				}
+				loopArgs := false
+				for _, a := range call.Args[1:] {
+					if derived(a) {
+						loopArgs = true
+						break
+					}
+				}
+				if !loopArgs || i >= len(as.Lhs) || !outer(as.Lhs[i]) {
+					continue
+				}
+				if id, ok := as.Lhs[i].(*ast.Ident); ok {
+					obj := info.Uses[id]
+					if obj == nil {
+						obj = info.Defs[id]
+					}
+					if sorted[obj] {
+						continue // appended slice is sorted afterwards
+					}
+				}
+				pass.Reportf(as.Pos(), "append inside a map range feeds loop values into a slice that outlives the loop: map order is random — collect keys, sort, then iterate (or sort this slice before use)")
+			}
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			// x += f(k, v) on an outer float: float arithmetic is not
+			// associative, so accumulation order changes the result.
+			lhs := as.Lhs[0]
+			t := info.TypeOf(lhs)
+			if t == nil {
+				return true
+			}
+			b, ok := t.Underlying().(*types.Basic)
+			if !ok || b.Info()&types.IsFloat == 0 {
+				return true
+			}
+			if derived(as.Rhs[0]) && outer(lhs) {
+				pass.Reportf(as.Pos(), "floating-point accumulation inside a map range is order-dependent (float addition is not associative); iterate sorted keys instead")
+			}
+		}
+		return true
+	})
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// identsIn returns every identifier in the expression tree.
+func identsIn(e ast.Expr) []*ast.Ident {
+	var out []*ast.Ident
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out
+}
+
+// rootExpr peels selectors, indexes and derefs down to the base
+// expression.
+func rootExpr(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockedConv pins the repo's lock-discipline naming convention: a
+// function or method whose name ends in "Locked" (predictor.fitLocked,
+// runtime.pauseAllLocked, …) runs under a mutex its CALLER already
+// holds. Two checks follow:
+//
+//   - the *Locked body must not acquire a lock reachable from its own
+//     receiver — doing so either deadlocks (sync.Mutex does not nest) or
+//     reveals the name is a lie;
+//   - every same-package caller must visibly hold a lock: it either is
+//     itself a *Locked function, or it acquires some lock (.Lock /
+//     .RLock / .TryLock, the usual `mu.Lock(); defer mu.Unlock()`
+//     prelude) before the call in the same function literal.
+//
+// The check is deliberately syntactic about WHICH mutex is held — Go
+// cannot express "the lock guarding p" — but the naming convention plus
+// these two checks catch the real regressions: a fitLocked that starts
+// locking, and a new caller that forgets to.
+var LockedConv = &Analyzer{
+	Name: "lockedconv",
+	Doc:  "*Locked functions must not lock their receiver; same-package callers must hold a lock",
+	Run:  runLockedConv,
+}
+
+// lockAcquireNames are the sync method names that take a lock.
+var lockAcquireNames = map[string]bool{
+	"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true,
+}
+
+func runLockedConv(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// lockedFuncs: objects of every *Locked func/method in this package.
+	lockedFuncs := make(map[types.Object]bool)
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !isLockedName(fd.Name.Name) {
+				continue
+			}
+			if obj := info.Defs[fd.Name]; obj != nil {
+				lockedFuncs[obj] = true
+			}
+			checkLockedBody(pass, fd)
+		}
+	}
+	if len(lockedFuncs) == 0 {
+		return
+	}
+
+	// Caller check: walk every function (decl or literal) as its own
+	// scope — a closure runs later, so a lock held by the enclosing
+	// function when the closure was BUILT proves nothing about when it
+	// runs.
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCallers(pass, fd.Name.Name, isLockedName(fd.Name.Name), fd.Body, lockedFuncs)
+		}
+	}
+}
+
+// isLockedName reports whether name follows the *Locked convention.
+func isLockedName(name string) bool {
+	return len(name) > len("Locked") && strings.HasSuffix(name, "Locked")
+}
+
+// checkLockedBody flags lock acquisitions on paths rooted at the
+// receiver inside a *Locked method (and, for plain functions, on
+// package-level variables).
+func checkLockedBody(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	recv := ""
+	if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		recv = fd.Recv.List[0].Names[0].Name
+	}
+	info := pass.Pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !lockAcquireNames[sel.Sel.Name] {
+			return true
+		}
+		root := rootExpr(sel.X)
+		id, ok := root.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		guarding := recv != "" && id.Name == recv
+		if !guarding {
+			// Plain *Locked functions: a package-level mutex is the
+			// guarding lock.
+			if obj := info.Uses[id]; obj != nil && obj.Parent() == pass.Pkg.Types.Scope() {
+				guarding = true
+			}
+		}
+		if guarding {
+			pass.Reportf(call.Pos(), "%s acquires %s.%s inside a *Locked function: *Locked code runs under its caller's lock — acquiring it again deadlocks or belies the name", fd.Name.Name, id.Name, sel.Sel.Name)
+		}
+		return true
+	})
+}
+
+// checkCallers walks one function scope (skipping nested literals, which
+// recurse as their own scopes) and flags calls to same-package *Locked
+// functions from scopes that neither are *Locked themselves nor acquire
+// a lock before the call. A literal nested in a *Locked scope inherits
+// its locked status: comparators and visitors built inside fitLocked run
+// while the lock is held.
+func checkCallers(pass *Pass, name string, locked bool, body *ast.BlockStmt, lockedFuncs map[types.Object]bool) {
+	info := pass.Pkg.Info
+
+	// First pass over this scope only: positions of lock acquisitions.
+	var lockPositions []token.Pos
+	var lockedCalls []*ast.CallExpr
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkCallers(pass, name+" (func literal)", locked, lit.Body, lockedFuncs)
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && lockAcquireNames[sel.Sel.Name] {
+				lockPositions = append(lockPositions, call.Pos())
+			}
+			var callee *ast.Ident
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				callee = fun
+			case *ast.SelectorExpr:
+				callee = fun.Sel
+			}
+			if callee != nil && lockedFuncs[info.Uses[callee]] {
+				lockedCalls = append(lockedCalls, call)
+			}
+			return true
+		})
+	}
+	walk(body)
+
+	if len(lockedCalls) == 0 || locked {
+		return
+	}
+	for _, call := range lockedCalls {
+		held := false
+		for _, pos := range lockPositions {
+			if pos < call.Pos() {
+				held = true
+				break
+			}
+		}
+		if held {
+			continue
+		}
+		callee := "a *Locked function"
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			callee = sel.Sel.Name
+		} else if id, ok := call.Fun.(*ast.Ident); ok {
+			callee = id.Name
+		}
+		pass.Reportf(call.Pos(), "%s calls %s without holding a lock: *Locked functions run under their caller's mutex — acquire it first (or rename if the convention does not apply)", name, callee)
+	}
+}

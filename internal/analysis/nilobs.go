@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// NilObs pins the telemetry contract "an uninstrumented process pays one
+// nil check": every instrument-handle type marked
+//
+//	//ones:nilsafe
+//
+// in its doc comment (the internal/obs handles — Counter, Gauge,
+// Histogram, the *Vec resolvers, Span, Tracer — and the autoscale
+// counter bundle) must keep every pointer-receiver method safe to call
+// on a nil receiver. Instrumented packages hold these handles
+// unconditionally and call them on every hot-path event; when no
+// registry is wired in the handles are nil, and one missing guard turns
+// "telemetry off" into a panic in the middle of a simulation.
+//
+// A method satisfies the contract when its body either begins with a
+// nil-receiver guard (`if h == nil { … }` or `if h != nil { … }` as the
+// first statement) or consists of a single delegation to another method
+// of the same type (e.g. Gauge.Inc calling g.Add(1)), which is itself
+// checked.
+var NilObs = &Analyzer{
+	Name: "nilobs",
+	Doc:  "methods on //ones:nilsafe handle types must begin with a nil-receiver guard",
+	Run:  runNilObs,
+}
+
+const nilsafePrefix = "//ones:nilsafe"
+
+func runNilObs(pass *Pass) {
+	marked := make(map[string]bool) // type name -> marked
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(gd.Specs) == 1 {
+					doc = gd.Doc
+				}
+				if directiveLine(doc, nilsafePrefix) {
+					marked[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	if len(marked) == 0 {
+		return
+	}
+
+	// Methods per marked type, so delegation targets can be validated.
+	methods := make(map[string]map[string]bool) // type -> method names
+	var decls []*ast.FuncDecl
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			tname, ptr := recvType(fd)
+			if !marked[tname] {
+				continue
+			}
+			if !ptr {
+				continue // value receivers cannot be nil
+			}
+			if methods[tname] == nil {
+				methods[tname] = make(map[string]bool)
+			}
+			methods[tname][fd.Name.Name] = true
+			decls = append(decls, fd)
+		}
+	}
+	for _, fd := range decls {
+		tname, _ := recvType(fd)
+		if fd.Body == nil {
+			continue
+		}
+		recv := recvName(fd)
+		if recv == "" {
+			pass.Reportf(fd.Pos(), "method %s.%s on a //ones:nilsafe type has an unnamed receiver — it cannot guard against nil", tname, fd.Name.Name)
+			continue
+		}
+		if beginsWithNilGuard(fd.Body, recv) || delegatesToSibling(fd.Body, recv, methods[tname]) {
+			continue
+		}
+		pass.Reportf(fd.Pos(), "method %s.%s must begin with a nil-receiver guard: //ones:nilsafe types promise that an uninstrumented process pays one nil check, never a panic", tname, fd.Name.Name)
+	}
+}
+
+// recvType returns the receiver's type name and whether it is a pointer
+// receiver.
+func recvType(fd *ast.FuncDecl) (name string, ptr bool) {
+	t := fd.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		ptr = true
+		t = st.X
+	}
+	// Strip generic instantiations (T[P]) down to the base name.
+	if ix, ok := t.(*ast.IndexExpr); ok {
+		t = ix.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		name = id.Name
+	}
+	return name, ptr
+}
+
+// recvName returns the receiver variable's name, or "" when anonymous.
+func recvName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+// beginsWithNilGuard reports whether the body's first statement is an if
+// whose condition compares the receiver against nil.
+func beginsWithNilGuard(body *ast.BlockStmt, recv string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		if isIdent(be.X, recv) && isIdent(be.Y, "nil") || isIdent(be.X, "nil") && isIdent(be.Y, recv) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// delegatesToSibling reports whether the body is a single statement that
+// only touches the receiver through one call to a sibling method of the
+// same (checked) type — Gauge.Inc() { g.Add(1) } is nil-safe because
+// Add is.
+func delegatesToSibling(body *ast.BlockStmt, recv string, siblings map[string]bool) bool {
+	if len(body.List) != 1 {
+		return false
+	}
+	var call *ast.CallExpr
+	switch st := body.List[0].(type) {
+	case *ast.ExprStmt:
+		call, _ = st.X.(*ast.CallExpr)
+	case *ast.ReturnStmt:
+		if len(st.Results) == 1 {
+			call, _ = st.Results[0].(*ast.CallExpr)
+		}
+	}
+	if call == nil {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !isIdent(sel.X, recv) || !siblings[sel.Sel.Name] {
+		return false
+	}
+	// The receiver must not appear anywhere else in the statement (an
+	// argument like recv.field would dereference it before the sibling's
+	// guard runs).
+	uses := 0
+	ast.Inspect(body.List[0], func(n ast.Node) bool {
+		if isIdent(n, recv) {
+			uses++
+		}
+		return true
+	})
+	return uses == 1
+}
+
+// isIdent reports whether n is the identifier name.
+func isIdent(n ast.Node, name string) bool {
+	id, ok := n.(*ast.Ident)
+	return ok && id.Name == name
+}

@@ -1,0 +1,13 @@
+// Package allowbadfix holds malformed //ones:allow directives. Each one
+// must surface as a finding under the "allow" pseudo-analyzer: a typo'd
+// escape hatch has to fail the build, not silently disable a check.
+package allowbadfix
+
+//ones:allow
+var empty = 0
+
+//ones:allow bogus because reasons
+var unknownName = 0
+
+//ones:allow detrand
+var reasonless = 0

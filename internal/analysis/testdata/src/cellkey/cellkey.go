@@ -1,0 +1,33 @@
+// Package cellkeyfix exercises the cache-key completeness rules against
+// a miniature engine: a Cell with an injected field missing from the
+// key, a Params mixing keyed, exempted and forgotten knobs, plus a
+// stale and a reasonless exemption.
+package cellkeyfix
+
+import "fmt"
+
+// Cell mirrors engine.Cell with one result-affecting field missing from
+// the key.
+type Cell struct {
+	Scheduler  string
+	Capacity   int
+	SneakyKnob int // want "Cell.SneakyKnob is not read in CellKey"
+}
+
+// Params mirrors engine.Params.
+type Params struct {
+	Seed int64
+	//ones:nokey pure throughput knob
+	Workers   int
+	Forgotten float64 // want "Params.Forgotten is not read in CellKey"
+	//ones:nokey stale: this IS in the key
+	Keyed int // want "Params.Keyed carries //ones:nokey but IS read in CellKey"
+	//ones:nokey
+	Reasonless int // want "needs a reason"
+}
+
+// CellKey renders the cache key.
+func CellKey(p Params, c Cell) string {
+	return fmt.Sprintf("cell|seed=%d|keyed=%d|sched=%s|cap=%d",
+		p.Seed, p.Keyed, c.Scheduler, c.Capacity)
+}

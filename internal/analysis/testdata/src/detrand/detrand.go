@@ -1,0 +1,104 @@
+// Package detrandfix exercises every detrand rule. The test loads it
+// under a determinism-critical import path.
+package detrandfix
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// wallClock trips the wall-clock read rules.
+func wallClock() time.Duration {
+	start := time.Now()      // want "time.Now reads the wall clock"
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+// sleepToo schedules off the wall clock, which is just as forbidden.
+func sleepToo() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+}
+
+// globalRand trips the process-global source rules.
+func globalRand() float64 {
+	n := rand.Intn(10)                 // want "rand.Intn draws from the process-global source"
+	return rand.Float64() + float64(n) // want "rand.Float64 draws from the process-global source"
+}
+
+// seededRand is the sanctioned pattern: an explicit source.
+func seededRand(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// allowedWallClock demonstrates the escape hatch.
+func allowedWallClock() time.Time {
+	//ones:allow detrand fixture: obs-only measurement
+	return time.Now()
+}
+
+// mapAppendUnsorted feeds loop values into an outer slice: flagged.
+func mapAppendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append inside a map range"
+	}
+	return keys
+}
+
+// mapAppendSorted is THE deterministic idiom: collect then sort.
+func mapAppendSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// mapAppendDerived catches values derived from the key through a body
+// local, not just the key itself.
+func mapAppendDerived(m map[string]int) []int {
+	var vals []int
+	for k := range m {
+		v := m[k] * 2
+		vals = append(vals, v) // want "append inside a map range"
+	}
+	return vals
+}
+
+// mapAppendConstant appends nothing loop-derived: order cannot matter.
+func mapAppendConstant(m map[string]int) []int {
+	var ones []int
+	for range m {
+		ones = append(ones, 1)
+	}
+	return ones
+}
+
+// mapFloatAccum is order-dependent: float addition is not associative.
+func mapFloatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "floating-point accumulation inside a map range"
+	}
+	return sum
+}
+
+// mapIntAccum is order-independent: integer addition commutes exactly.
+func mapIntAccum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sliceRange is not a map: never flagged.
+func sliceRange(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}

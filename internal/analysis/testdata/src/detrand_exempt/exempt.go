@@ -1,0 +1,14 @@
+// Package exemptfix holds wall-clock and global-rand uses that are fine
+// OUTSIDE the determinism-critical packages — the test loads it under a
+// non-critical import path and expects zero findings.
+package exemptfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+// WallTime measures real elapsed time, as an obs-domain package may.
+func WallTime() (time.Time, int) {
+	return time.Now(), rand.Intn(10)
+}

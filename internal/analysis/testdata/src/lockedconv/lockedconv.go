@@ -1,0 +1,93 @@
+// Package lockedfix exercises the *Locked naming-convention checks:
+// bodies must not take the lock they run under, callers must hold one.
+package lockedfix
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	n  int
+}
+
+// bumpLocked follows the convention: the caller holds s.mu.
+func (s *store) bumpLocked() {
+	s.n++
+}
+
+// selfLockLocked belies its name by taking the receiver's own lock.
+func (s *store) selfLockLocked() {
+	s.mu.Lock() // want "acquires s.Lock inside a"
+	s.n++
+	s.mu.Unlock()
+}
+
+// localLocked may use a private lock: it is not the caller's.
+func (s *store) localLocked() {
+	var mu sync.Mutex
+	mu.Lock()
+	s.n++
+	mu.Unlock()
+}
+
+// Bump holds the lock across the call: the canonical caller.
+func (s *store) Bump() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bumpLocked()
+}
+
+// BadBump forgets the lock.
+func (s *store) BadBump() {
+	s.bumpLocked() // want "BadBump calls bumpLocked without holding a lock"
+}
+
+// chainLocked may call a sibling *Locked function freely: one lock
+// covers the whole chain.
+func (s *store) chainLocked() {
+	s.bumpLocked()
+}
+
+// applyLocked runs fn under the caller's lock; the literal built inside
+// doubleLocked inherits that locked status.
+func (s *store) applyLocked(fn func(*store)) {
+	fn(s)
+}
+
+func (s *store) doubleLocked() {
+	s.applyLocked(func(st *store) {
+		st.bumpLocked()
+	})
+}
+
+// Deferred builds a closure under the lock but the closure runs after
+// release: the literal is its own scope and must lock for itself.
+func (s *store) Deferred() func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() {
+		s.bumpLocked() // want "calls bumpLocked without holding a lock"
+	}
+}
+
+var globalMu sync.Mutex
+var counter int
+
+// resetLocked must not take the package-level lock it runs under.
+func resetLocked() {
+	globalMu.Lock() // want "acquires globalMu.Lock inside a"
+	counter = 0
+	globalMu.Unlock()
+}
+
+// Reset is the sanctioned caller of resetLocked.
+func Reset() {
+	globalMu.Lock()
+	defer globalMu.Unlock()
+	resetLocked()
+}
+
+// use keeps the otherwise-unreferenced helpers alive for the checker.
+var use = []any{
+	(*store).selfLockLocked, (*store).localLocked, (*store).chainLocked,
+	(*store).doubleLocked, (*store).Deferred, Reset,
+}

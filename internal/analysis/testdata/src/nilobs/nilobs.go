@@ -1,0 +1,57 @@
+// Package nilobsfix exercises the nil-receiver-guard contract for
+// instrument-handle types marked //ones:nilsafe.
+package nilobsfix
+
+// Handle is a marked instrument handle: every pointer-receiver method
+// must begin with a nil guard or delegate to a sibling that does.
+//
+//ones:nilsafe
+type Handle struct {
+	n float64
+}
+
+// Add guards first: the canonical shape.
+func (h *Handle) Add(v float64) {
+	if h == nil {
+		return
+	}
+	h.n += v
+}
+
+// Inc is a pure delegation to Add, whose guard covers it.
+func (h *Handle) Inc() {
+	h.Add(1)
+}
+
+// Value guards with the inverted comparison.
+func (h *Handle) Value() float64 {
+	if h != nil {
+		return h.n
+	}
+	return 0
+}
+
+// Reset forgets the guard.
+func (h *Handle) Reset() { // want "Handle.Reset must begin with a nil-receiver guard"
+	h.n = 0
+}
+
+// BadInc delegates but dereferences the receiver in an argument, which
+// panics before Add's guard can run.
+func (h *Handle) BadInc() { // want "Handle.BadInc must begin with a nil-receiver guard"
+	h.Add(h.n)
+}
+
+// Anonymous cannot guard a receiver it cannot name.
+func (*Handle) Anonymous() {} // want "unnamed receiver"
+
+// Snapshot has a value receiver: a copy can never be nil.
+func (h Handle) Snapshot() float64 {
+	return h.n
+}
+
+// Unmarked is not //ones:nilsafe, so no guards are required.
+type Unmarked struct{ n int }
+
+// Bump may dereference freely.
+func (u *Unmarked) Bump() { u.n++ }

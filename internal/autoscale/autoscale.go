@@ -102,9 +102,11 @@ func Policies() []Policy {
 	return out
 }
 
-// ctlObs holds a controller's instrument handles; the zero value (all
-// nil) is a valid no-op set, and obs instruments are nil-safe, so an
-// uninstrumented controller pays one nil check per record.
+// ctlObs bundles a controller's instrument handles. An uninstrumented
+// controller holds a nil *ctlObs and pays exactly one nil check per
+// record — the same contract the internal/obs handles pin.
+//
+//ones:nilsafe
 type ctlObs struct {
 	decisions  *obs.CounterVec // by action: scale-up / scale-down / hold
 	steps      *obs.CounterVec // servers added/removed, by direction
@@ -124,7 +126,7 @@ type Controller struct {
 	decider  *Decider
 	scaler   *Scaler
 	nextEval float64
-	oh       ctlObs
+	oh       *ctlObs
 }
 
 // NewController assembles a controller from the policy, seeding the
@@ -143,7 +145,7 @@ func NewController(p Policy, seed int64, reg *obs.Registry) *Controller {
 		nextEval: p.Interval,
 	}
 	if reg != nil {
-		c.oh = ctlObs{
+		c.oh = &ctlObs{
 			decisions:  reg.CounterVec("autoscale_decisions_total", "Controller evaluations by outcome.", "action"),
 			steps:      reg.CounterVec("autoscale_scale_steps_total", "Servers the controller added or removed, by direction.", "dir"),
 			clamps:     reg.Counter("autoscale_clamps_total", "Scaling steps cut short by MaxScaleStep or the size envelope."),
@@ -174,30 +176,34 @@ func (c *Controller) Next(now float64, view scenario.ClusterView) []scenario.Cap
 	}
 	sig := c.analyzer.Observe(now, view)
 	act := c.decider.Decide(now, view, sig)
-	c.record(act)
+	c.oh.record(act)
 	return c.scaler.Shape(act, view)
 }
 
-// record emits the action's telemetry.
-func (c *Controller) record(act Action) {
+// record emits the action's telemetry. Safe on a nil receiver (an
+// uninstrumented controller).
+func (o *ctlObs) record(act Action) {
+	if o == nil {
+		return
+	}
 	switch {
 	case act.Delta > 0:
-		c.oh.decisions.With("scale-up").Inc()
-		c.oh.steps.With("up").Add(uint64(act.Delta))
+		o.decisions.With("scale-up").Inc()
+		o.steps.With("up").Add(uint64(act.Delta))
 	case act.Delta < 0:
-		c.oh.decisions.With("scale-down").Inc()
-		c.oh.steps.With("down").Add(uint64(-act.Delta))
+		o.decisions.With("scale-down").Inc()
+		o.steps.With("down").Add(uint64(-act.Delta))
 	default:
-		c.oh.decisions.With("hold").Inc()
+		o.decisions.With("hold").Inc()
 	}
 	if act.Clamped {
-		c.oh.clamps.Inc()
+		o.clamps.Inc()
 	}
 	if act.Suppressed {
-		c.oh.suppressed.Inc()
+		o.suppressed.Inc()
 	}
 	if act.Emergency {
-		c.oh.emergency.Inc()
+		o.emergency.Inc()
 	}
 }
 

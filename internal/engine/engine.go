@@ -23,11 +23,17 @@ type Params struct {
 	MaxGPUs      int     // largest user GPU request in generated traces (0 ⇒ 8)
 	Population   int     // ONES population size K
 	MutationRate float64 // ONES mutation rate θ override (0 ⇒ scheduler default)
-	Capacities   []int   // GPU counts for the scalability sweep
-	ParamScale   int     // live-runtime model-size divisor (Fig 16)
-	CFPoints     int     // samples per cumulative-frequency curve
+	// Capacities selects WHICH cells an experiment renders, not what any
+	// one cell computes — each cell already keys its own Capacity.
+	//ones:nokey experiment-rendering parameter: per-cell capacity is keyed as cap=
+	Capacities []int // GPU counts for the scalability sweep
+	//ones:nokey live-runtime (Fig 16) knob: never reaches a simulated cell
+	ParamScale int // live-runtime model-size divisor (Fig 16)
+	//ones:nokey experiment-rendering parameter: curve sampling happens after the cells are computed
+	CFPoints int // samples per cumulative-frequency curve
 	// Workers bounds the number of concurrently executing simulation
 	// cells (0 ⇒ GOMAXPROCS). Results are identical at any setting.
+	//ones:nokey pure throughput knob: results are byte-identical at any worker count (pinned by the determinism tests)
 	Workers int
 	// EvolutionParallelism bounds the goroutines ONES's evolutionary
 	// search uses inside one simulation cell (0 ⇒ derive from the worker
@@ -37,6 +43,7 @@ type Params struct {
 	// is pre-seeded serially and the reduction is order-independent, so
 	// results are identical at any setting. It is deliberately excluded
 	// from CellKey — cached results are shared across settings.
+	//ones:nokey pure throughput knob: parallelism-invariance is pinned by the evopar golden test
 	EvolutionParallelism int
 	// RecordEvents retains the per-job scheduling event log on every
 	// simulated cell's Result (off by default: the log is bulky).

@@ -396,6 +396,7 @@ func (r *Runner) simulate(ctx context.Context, c Cell) (res *simulator.Result, e
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	//ones:allow detrand obs-only wall-time: elapsed feeds the cell-seconds histogram and OnCell progress callbacks, never the Result
 	start := time.Now()
 	genSpan := cellSpan.StartChild("trace-gen")
 	scn, err := scenario.Get(c.Scenario)
@@ -484,7 +485,7 @@ func (r *Runner) simulate(ctx context.Context, c Cell) (res *simulator.Result, e
 	}
 	res, err = simulator.RunContext(ctx, simCfg, sched)
 	simSpan.End()
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //ones:allow detrand obs-only wall-time measurement paired with the start read above
 	if err != nil {
 		if isCtxErr(err) {
 			oh.cancelled.Inc()

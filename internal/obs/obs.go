@@ -283,6 +283,8 @@ func (r *Registry) HistogramSum(name string, labelValues ...string) float64 {
 }
 
 // CounterVec resolves labeled counters.
+//
+//ones:nilsafe
 type CounterVec struct{ f *family }
 
 // With returns the counter for the given label values (one per label
@@ -295,6 +297,8 @@ func (v *CounterVec) With(labelValues ...string) *Counter {
 }
 
 // GaugeVec resolves labeled gauges.
+//
+//ones:nilsafe
 type GaugeVec struct{ f *family }
 
 // With returns the gauge for the given label values. Safe on a nil vec.
@@ -306,6 +310,8 @@ func (v *GaugeVec) With(labelValues ...string) *Gauge {
 }
 
 // HistogramVec resolves labeled histograms.
+//
+//ones:nilsafe
 type HistogramVec struct{ f *family }
 
 // With returns the histogram for the given label values. Safe on a nil
@@ -320,6 +326,8 @@ func (v *HistogramVec) With(labelValues ...string) *Histogram {
 // Counter is a monotonically increasing count. The zero value is ready;
 // all methods are safe on a nil receiver (no-ops) and for concurrent
 // use (one atomic add).
+//
+//ones:nilsafe
 type Counter struct{ n atomic.Uint64 }
 
 // Inc adds one.
@@ -347,6 +355,8 @@ func (c *Counter) Value() uint64 {
 // Gauge is a value that can go up and down, stored as float64 bits with
 // atomic updates. The zero value is ready; all methods are safe on a
 // nil receiver and for concurrent use.
+//
+//ones:nilsafe
 type Gauge struct{ bits atomic.Uint64 }
 
 // Set stores v.
@@ -391,6 +401,8 @@ var DefBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2
 // Histogram counts observations into cumulative buckets, Prometheus
 // style. Observations are lock-free: one atomic add into the owning
 // bucket, one into the count, and a CAS loop on the float sum.
+//
+//ones:nilsafe
 type Histogram struct {
 	bounds []float64 // ascending upper bounds, +Inf implied
 	counts []atomic.Uint64

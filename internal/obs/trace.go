@@ -10,6 +10,8 @@ import (
 // run IDs). When the buffer is full the oldest trace is evicted — a
 // long-lived daemon keeps the most recent runs inspectable without
 // unbounded memory. Safe for concurrent use.
+//
+//ones:nilsafe
 type Tracer struct {
 	maxTraces int
 	maxSpans  int
@@ -111,6 +113,8 @@ func (tr *Trace) newSpan(parent *Span, name string) *Span {
 // Span is one timed section of a trace. The zero of a trace-less
 // (nil) span is a no-op: StartChild returns nil, End and Annotate do
 // nothing — instrumented code never branches on whether tracing is on.
+//
+//ones:nilsafe
 type Span struct {
 	trace  *Trace
 	parent *Span

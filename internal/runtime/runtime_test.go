@@ -17,6 +17,21 @@ func testSpec() Spec {
 	}
 }
 
+// monotoneSpec is testSpec without momentum, for tests that compare
+// loss between two pause points. With Momentum 0.9 the loss follows
+// underdamped second-order dynamics (the update's characteristic poles
+// are complex with modulus ~0.95), so it oscillates on its way down and
+// an instantaneous before/after comparison can land on opposite phases
+// of a swing — a real intermittent failure under -race, whose slower
+// scheduling shifts where the pauses fall. Momentum coverage stays in
+// the digest-consistency and step-count tests, which don't compare
+// loss snapshots.
+func monotoneSpec() Spec {
+	s := testSpec()
+	s.Momentum = 0
+	return s
+}
+
 func TestSpecValidate(t *testing.T) {
 	good := testSpec()
 	if err := good.Validate(); err != nil {
@@ -46,7 +61,7 @@ func TestStartValidation(t *testing.T) {
 }
 
 func TestTrainingMakesProgress(t *testing.T) {
-	j, err := Start(testSpec(), 2)
+	j, err := Start(monotoneSpec(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +152,7 @@ func TestRescaleElasticShrink(t *testing.T) {
 }
 
 func TestRescaleElasticPreservesProgress(t *testing.T) {
-	j, err := Start(testSpec(), 2)
+	j, err := Start(monotoneSpec(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
