@@ -30,8 +30,10 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/simulator"
@@ -56,8 +58,37 @@ type Stats struct {
 	// Discards counts corrupt, unreadable or version-mismatched files
 	// thrown away (each triggered a warning and a recompute).
 	Discards int `json:"discards"`
+	// MemoEvictions counts completed memo entries dropped by the bounded-
+	// state sweeps (TTL expiry or LRU cap pressure — see Limits).
+	MemoEvictions int `json:"memo_evictions"`
+	// DiskEvictions counts persisted files removed to keep the cache
+	// directory under its byte cap (oldest files first).
+	DiskEvictions int `json:"disk_evictions"`
 	// Entries is the current in-memory memo size.
 	Entries int `json:"entries"`
+}
+
+// Limits bounds the cache's state so a long-lived daemon cannot grow
+// without bound. Every field is optional; the zero value disables all
+// eviction (the pre-hardening behavior). Eviction follows the Reset
+// contract exactly: only completed entries are dropped — an in-flight
+// singleflight computation and its waiters are never touched — and a
+// dropped entry that was persisted reloads from disk on next use, so
+// limits change performance, never results.
+type Limits struct {
+	// MaxEntries caps the in-memory memo: when exceeded, the least-
+	// recently-used completed entries are evicted until the memo fits
+	// (in-flight entries don't count as evictable and can push the memo
+	// transiently over the cap). 0 ⇒ unbounded.
+	MaxEntries int
+	// TTL evicts completed memo entries idle (neither stored nor hit)
+	// for at least this long. 0 ⇒ entries never expire.
+	TTL time.Duration
+	// MaxDiskBytes caps the persistence directory: after each write-
+	// through the oldest files are removed until the total fits. 0 ⇒
+	// unbounded. The in-memory memo still holds evicted cells until its
+	// own limits drop them.
+	MaxDiskBytes int64
 }
 
 // Cache implements engine.Cache: a singleflight, in-memory result memo
@@ -70,6 +101,8 @@ type Cache struct {
 	mu      sync.Mutex
 	entries map[string]*entry
 	stats   Stats
+	limits  Limits
+	now     func() time.Time // injectable for the eviction soak tests
 
 	obsP atomic.Pointer[cacheObs]
 }
@@ -84,6 +117,10 @@ type cacheObs struct {
 	dedupWaits *obs.Counter
 	diskWrites *obs.Counter
 	discards   *obs.Counter
+	// Bounded-state sweep outcomes (cache_evictions_total{store,reason}).
+	memoTTLEvicts *obs.Counter
+	memoCapEvicts *obs.Counter
+	diskCapEvicts *obs.Counter
 }
 
 var noCacheObs cacheObs
@@ -108,13 +145,17 @@ func (c *Cache) Instrument(reg *obs.Registry) {
 		return
 	}
 	hits := reg.CounterVec("servecache_hits_total", "Cache hits by source (memory: in-process memo; disk: persisted file).", "source")
+	evictions := reg.CounterVec("cache_evictions_total", "Entries evicted from the daemon's bounded stores, by store and reason.", "store", "reason")
 	c.obsP.Store(&cacheObs{
-		memoryHits: hits.With("memory"),
-		diskHits:   hits.With("disk"),
-		computes:   reg.Counter("servecache_computes_total", "Cache misses that ran a full simulation."),
-		dedupWaits: reg.Counter("servecache_dedup_waits_total", "Calls that piggybacked on another caller's in-flight computation."),
-		diskWrites: reg.Counter("servecache_disk_writes_total", "Results written through to the persistence directory."),
-		discards:   reg.Counter("servecache_discards_total", "Corrupt, unreadable or version-mismatched cache files discarded."),
+		memoryHits:    hits.With("memory"),
+		diskHits:      hits.With("disk"),
+		computes:      reg.Counter("servecache_computes_total", "Cache misses that ran a full simulation."),
+		dedupWaits:    reg.Counter("servecache_dedup_waits_total", "Calls that piggybacked on another caller's in-flight computation."),
+		diskWrites:    reg.Counter("servecache_disk_writes_total", "Results written through to the persistence directory."),
+		discards:      reg.Counter("servecache_discards_total", "Corrupt, unreadable or version-mismatched cache files discarded."),
+		memoTTLEvicts: evictions.With("memo", "ttl"),
+		memoCapEvicts: evictions.With("memo", "cap"),
+		diskCapEvicts: evictions.With("disk", "cap"),
 	})
 	reg.GaugeFunc("servecache_entries", "Entries in the in-memory result memo.", func() float64 {
 		c.mu.Lock()
@@ -157,6 +198,22 @@ type entry struct {
 	done chan struct{}
 	res  *simulator.Result
 	err  error
+
+	// lastUse orders the memo for LRU eviction and TTL expiry; written
+	// at insertion and on every memory hit, under Cache.mu.
+	lastUse time.Time
+}
+
+// completed reports whether the entry's computation has finished — only
+// completed entries are evictable (the singleflight contract: waiters
+// hold the entry pointer and must see it resolve).
+func (e *entry) completed() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
 }
 
 // New returns a Cache persisting to dir ("" ⇒ shared memory only, no
@@ -172,11 +229,165 @@ func New(dir string, warn func(format string, args ...any)) (*Cache, error) {
 			return nil, fmt.Errorf("servecache: create %s: %w", dir, err)
 		}
 	}
-	return &Cache{dir: dir, warn: warn, entries: make(map[string]*entry)}, nil
+	return &Cache{dir: dir, warn: warn, entries: make(map[string]*entry), now: time.Now}, nil
 }
 
 // Dir returns the persistence directory ("" when memory-only).
 func (c *Cache) Dir() string { return c.dir }
+
+// SetLimits installs (or replaces) the cache's state bounds and sweeps
+// immediately, returning how many entries/files the sweep evicted. Safe
+// to call concurrently with Do at any point in the cache's life.
+func (c *Cache) SetLimits(l Limits) int {
+	c.mu.Lock()
+	c.limits = l
+	c.mu.Unlock()
+	return c.Sweep()
+}
+
+// Limits returns the currently configured bounds (zero value: unbounded).
+func (c *Cache) Limits() Limits {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.limits
+}
+
+// SetClock replaces the cache's time source — eviction tests inject a
+// manual clock so TTL expiry is deterministic. nil restores time.Now.
+func (c *Cache) SetClock(now func() time.Time) {
+	if now == nil {
+		now = time.Now
+	}
+	c.mu.Lock()
+	c.now = now
+	c.mu.Unlock()
+}
+
+// Sweep applies the configured Limits now — TTL expiry and LRU cap on
+// the memo, byte cap on the disk directory — and returns how many
+// entries/files were evicted. Do and store sweep automatically after
+// inserting; call Sweep directly (onesd does, on a timer) so idle
+// entries still expire with no traffic to trigger it.
+func (c *Cache) Sweep() int {
+	c.mu.Lock()
+	evicted := c.sweepMemoLocked()
+	c.mu.Unlock()
+	return evicted + c.sweepDisk()
+}
+
+// sweepMemoLocked drops completed memo entries past their TTL, then —
+// when the memo exceeds MaxEntries — the least-recently-used completed
+// entries until it fits. In-flight entries are never touched (Reset
+// semantics), so the memo can transiently exceed the cap while every
+// excess entry is still computing.
+func (c *Cache) sweepMemoLocked() int {
+	l := c.limits
+	if l.TTL <= 0 && l.MaxEntries <= 0 {
+		return 0
+	}
+	oh := c.oh()
+	now := c.now()
+	evicted := 0
+	if l.TTL > 0 {
+		for key, e := range c.entries {
+			if e.completed() && now.Sub(e.lastUse) >= l.TTL {
+				delete(c.entries, key)
+				c.stats.MemoEvictions++
+				oh.memoTTLEvicts.Inc()
+				evicted++
+			}
+		}
+	}
+	if l.MaxEntries > 0 && len(c.entries) > l.MaxEntries {
+		type victim struct {
+			key     string
+			lastUse time.Time
+		}
+		var victims []victim
+		for key, e := range c.entries {
+			if e.completed() {
+				victims = append(victims, victim{key, e.lastUse})
+			}
+		}
+		sort.Slice(victims, func(i, j int) bool {
+			if !victims[i].lastUse.Equal(victims[j].lastUse) {
+				return victims[i].lastUse.Before(victims[j].lastUse)
+			}
+			return victims[i].key < victims[j].key // tie-break: deterministic sweeps
+		})
+		for _, v := range victims {
+			if len(c.entries) <= l.MaxEntries {
+				break
+			}
+			delete(c.entries, v.key)
+			c.stats.MemoEvictions++
+			oh.memoCapEvicts.Inc()
+			evicted++
+		}
+	}
+	return evicted
+}
+
+// sweepDisk removes the oldest persisted files until the directory fits
+// MaxDiskBytes. Writes rename into place atomically, so the scan never
+// sees torn entries; a file that disappears mid-sweep is simply skipped.
+func (c *Cache) sweepDisk() int {
+	c.mu.Lock()
+	capBytes := c.limits.MaxDiskBytes
+	c.mu.Unlock()
+	if c.dir == "" || capBytes <= 0 {
+		return 0
+	}
+	des, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0
+	}
+	type file struct {
+		name string
+		size int64
+		mod  time.Time
+	}
+	var files []file
+	var total int64
+	for _, de := range des {
+		if de.IsDir() || filepath.Ext(de.Name()) != ".json" {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, file{de.Name(), info.Size(), info.ModTime()})
+		total += info.Size()
+	}
+	if total <= capBytes {
+		return 0
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if !files[i].mod.Equal(files[j].mod) {
+			return files[i].mod.Before(files[j].mod) // oldest (least recently touched) first
+		}
+		return files[i].name < files[j].name
+	})
+	oh := c.oh()
+	evicted := 0
+	for _, f := range files {
+		if total <= capBytes {
+			break
+		}
+		if err := os.Remove(filepath.Join(c.dir, f.name)); err != nil {
+			if !os.IsNotExist(err) {
+				c.warn("servecache: evict %s: %v", f.name, err)
+				continue
+			}
+		}
+		total -= f.size
+		c.count(func(s *Stats) { s.DiskEvictions++ })
+		oh.diskCapEvicts.Inc()
+		evicted++
+	}
+	return evicted
+}
 
 // Stats snapshots the cache counters.
 func (c *Cache) Stats() Stats {
@@ -232,7 +443,7 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() (*simulator.R
 		c.mu.Lock()
 		e, ok := c.entries[key]
 		if !ok {
-			e = &entry{done: make(chan struct{})}
+			e = &entry{done: make(chan struct{}), lastUse: c.now()}
 			c.entries[key] = e
 			c.mu.Unlock()
 			c.resolve(e, key, compute)
@@ -242,12 +453,20 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() (*simulator.R
 				c.mu.Unlock()
 			}
 			close(e.done)
+			// The memo and the disk dir only grow on inserts, so this is
+			// the spot that keeps them bounded (plus periodic Sweeps for
+			// TTL expiry under no traffic).
+			c.mu.Lock()
+			c.sweepMemoLocked()
+			c.mu.Unlock()
+			c.sweepDisk()
 		} else {
 			oh := c.oh()
 			select {
 			case <-e.done:
 				c.stats.MemoryHits++
 				oh.memoryHits.Inc()
+				e.lastUse = c.now()
 			default:
 				c.stats.DedupWaits++
 				oh.dedupWaits.Inc()
@@ -342,7 +561,20 @@ func (c *Cache) load(key string) (*simulator.Result, bool) {
 		c.discard(path, "missing result")
 		return nil, false
 	}
+	// Touch the file so the disk byte-cap sweep (oldest mtime first)
+	// approximates LRU instead of FIFO. Best effort: a failed touch only
+	// degrades eviction order.
+	t := c.clock()()
+	_ = os.Chtimes(path, t, t)
 	return env.Result, true
+}
+
+// clock snapshots the cache's time source under the lock (SetClock may
+// replace it concurrently).
+func (c *Cache) clock() func() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
 }
 
 // discard warns about and removes a bad cache file; the caller recomputes.

@@ -1,0 +1,183 @@
+package servecache
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simulator"
+)
+
+// soakClock is a manually advanced time source injected via SetClock so
+// TTL expiry and mtime-ordered disk eviction are deterministic.
+type soakClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *soakClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *soakClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// dirBytes sums the persisted .json files under dir.
+func dirBytes(t *testing.T, dir string) int64 {
+	t.Helper()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, de := range des {
+		if de.IsDir() || filepath.Ext(de.Name()) != ".json" {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += info.Size()
+	}
+	return total
+}
+
+// TestEvictionSoak drives a bounded cache through a seeded-random
+// interleaving of inserts, hits, idle periods (clock jumps) and explicit
+// sweeps, holding two invariants after every operation:
+//
+//   - the in-memory memo never exceeds MaxEntries (every entry here is
+//     completed, so the cap is exact);
+//   - the disk directory never exceeds MaxDiskBytes (Do sweeps after
+//     each insert, Sweep covers the idle jumps).
+//
+// Afterwards it pins the determinism contract across the churn: a key
+// that survived on disk reloads byte-identical in a fresh cache with the
+// compute forbidden, and an in-flight entry is never evicted no matter
+// how far the clock jumps.
+func TestEvictionSoak(t *testing.T) {
+	dir := t.TempDir()
+	c := mustCache(t, dir)
+	clk := &soakClock{t: time.Unix(1_700_000_000, 0)}
+	c.SetClock(clk.now)
+
+	res := simulate(t, "fifo", false)
+	// Size one envelope so the byte cap is a meaningful ~5 files.
+	blob, err := json.Marshal(envelope{Version: Version, Key: "probe", Result: res})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileSize := int64(len(blob))
+
+	limits := Limits{
+		MaxEntries:   8,
+		TTL:          10 * time.Minute,
+		MaxDiskBytes: 5*fileSize + fileSize/2,
+	}
+	c.SetLimits(limits)
+
+	rng := rand.New(rand.NewSource(42))
+	ctx := context.Background()
+	keys := func(i int) string { return fmt.Sprintf("soak-key-%03d", i) }
+	for step := 0; step < 400; step++ {
+		switch rng.Intn(4) {
+		case 0, 1: // insert or hit a key from a rotating working set
+			key := keys(rng.Intn(40))
+			if _, err := c.Do(ctx, key, func() (*simulator.Result, error) { return res, nil }); err != nil {
+				t.Fatalf("step %d: Do(%s): %v", step, key, err)
+			}
+		case 2: // idle period: up to 15 minutes pass, maybe past the TTL
+			clk.advance(time.Duration(rng.Intn(15)+1) * time.Minute)
+		case 3: // the daemon's periodic sweep
+			c.Sweep()
+		}
+		if n := c.Stats().Entries; n > limits.MaxEntries {
+			t.Fatalf("step %d: memo holds %d entries, cap %d", step, n, limits.MaxEntries)
+		}
+		if b := dirBytes(t, dir); b > limits.MaxDiskBytes {
+			t.Fatalf("step %d: disk holds %d bytes, cap %d", step, b, limits.MaxDiskBytes)
+		}
+	}
+	st := c.Stats()
+	if st.MemoEvictions == 0 || st.DiskEvictions == 0 {
+		t.Fatalf("soak never exercised eviction: stats %+v", st)
+	}
+
+	// Determinism across the churn: any key still persisted reloads
+	// byte-identical in a fresh cache without computing.
+	survivor := ""
+	for i := 0; i < 40; i++ {
+		if _, err := os.Stat(c.path(keys(i))); err == nil {
+			survivor = keys(i)
+			break
+		}
+	}
+	if survivor == "" {
+		t.Fatal("no persisted key survived the soak (cap fits ~5 files)")
+	}
+	c2 := mustCache(t, dir)
+	got, err := c2.Do(ctx, survivor, func() (*simulator.Result, error) {
+		t.Fatalf("warm restart recomputed %s instead of loading it", survivor)
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotJSON) != string(wantJSON) {
+		t.Error("warm-restart result not byte-identical to the computed one")
+	}
+
+	// In-flight entries are never evicted: park a compute mid-flight,
+	// blow every TTL, sweep hard, and the waiter must still resolve from
+	// THAT computation (a second caller dedups onto it, not a recompute).
+	started := make(chan struct{})
+	release := make(chan struct{})
+	first := make(chan error, 1)
+	go func() {
+		_, err := c.Do(ctx, "inflight", func() (*simulator.Result, error) {
+			close(started)
+			<-release
+			return res, nil
+		})
+		first <- err
+	}()
+	<-started
+	clk.advance(24 * time.Hour)
+	for i := 0; i < 3; i++ {
+		c.Sweep()
+	}
+	second := make(chan error, 1)
+	go func() {
+		_, err := c.Do(ctx, "inflight", func() (*simulator.Result, error) {
+			return nil, fmt.Errorf("in-flight entry was evicted: dedup lost")
+		})
+		second <- err
+	}()
+	close(release)
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-second; err != nil {
+		t.Fatal(err)
+	}
+}

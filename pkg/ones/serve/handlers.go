@@ -61,14 +61,25 @@ func toStreamEvent(p ones.Progress) streamEvent {
 	}
 }
 
-// Handler returns the daemon's route table. Every route is wrapped with
-// the per-endpoint HTTP metrics when the server was built WithMetrics.
+// Handler returns the daemon's route table. Every /v1 route runs behind
+// the admission chain — bearer auth, then its own token-bucket rate
+// limit, and (run creation only) the compute-backlog breaker — each a
+// no-op when its Config field is unset. The probe endpoints (/healthz,
+// /readyz) and /metrics bypass admission so load balancers and scrapers
+// need no credentials and are never shed. Every route except /metrics
+// is wrapped with the per-endpoint HTTP metrics when the server was
+// built WithMetrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	route := func(pattern string, h http.HandlerFunc) {
-		mux.HandleFunc(pattern, s.instrumented(pattern, h))
+	auth := s.authMiddleware()
+	route := func(pattern string, h http.HandlerFunc, extra ...middleware) {
+		mws := append([]middleware{auth, s.rateLimitMiddleware(pattern)}, extra...)
+		mux.Handle(pattern, s.instrumented(pattern, chain(h, mws...)))
 	}
-	route("POST /v1/runs", s.handleCreate)
+	open := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrumented(pattern, h))
+	}
+	route("POST /v1/runs", s.handleCreate, s.breakerMiddleware())
 	route("GET /v1/runs", s.handleList)
 	route("GET /v1/runs/{id}", s.handleGet)
 	route("DELETE /v1/runs/{id}", s.handleCancel)
@@ -80,10 +91,10 @@ func (s *Server) Handler() http.Handler {
 	route("GET /v1/experiments", s.handleExperiments)
 	route("GET /v1/cache", s.handleCache)
 	route("DELETE /v1/cache", s.handleCacheReset)
-	route("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	open("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	route("GET /readyz", s.handleReady)
+	open("GET /readyz", s.handleReady)
 	// /metrics is deliberately NOT instrumented: scrapes every few
 	// seconds would dominate the request series it reports.
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -173,8 +184,12 @@ func (s *Server) handleCancel(w http.ResponseWriter, req *http.Request) {
 
 // handleStream replays the run's progress history and follows it live as
 // NDJSON (one JSON object per line, flushed per event), ending with a
-// terminal {"kind":"end",...} line once the run finishes. A client that
-// disconnects mid-stream just stops receiving; the run is unaffected.
+// terminal {"kind":"end",...} line once the run finishes. All clients
+// following one run share its broadcast hub — each event is recorded
+// once and fanned out through bounded per-client buffers, so a slow
+// client is disconnected (its buffer overflows) instead of wedging the
+// hub, and a client that disconnects itself just stops receiving; the
+// run is unaffected either way.
 func (s *Server) handleStream(w http.ResponseWriter, req *http.Request) {
 	r, ok := s.get(req.PathValue("id"))
 	if !ok {
@@ -187,48 +202,54 @@ func (s *Server) handleStream(w http.ResponseWriter, req *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 
-	// Wake the cond loop below when the client goes away: the request
-	// context is cancelled either by a disconnect or by the handler
-	// returning, so this goroutine never outlives the request.
-	clientGone := req.Context()
-	go func() {
-		<-clientGone.Done()
-		// Take and release the lock before broadcasting so a wakeup can
-		// never be lost between the loop's condition check and its Wait.
-		r.mu.Lock()
-		r.mu.Unlock() //nolint:staticcheck // empty critical section is the point
-		r.cond.Broadcast()
-	}()
-
-	next := 0
-	for {
-		r.mu.Lock()
-		for next >= len(r.events) && !r.finished && clientGone.Err() == nil {
-			r.cond.Wait()
-		}
-		batch := append([]ones.Progress(nil), r.events[next:]...)
-		next += len(batch)
-		finished := r.finished
-		r.mu.Unlock()
-
-		if clientGone.Err() != nil {
+	// Atomic against the broadcast: the snapshot holds every event so
+	// far, the subscription every later one — no gap, no duplicate.
+	history, sub := r.hub.subscribe()
+	if sub != nil {
+		defer r.hub.unsubscribe(sub)
+	}
+	for _, p := range history {
+		if err := enc.Encode(toStreamEvent(p)); err != nil {
 			return
 		}
-		for _, p := range batch {
+	}
+	if len(history) > 0 && flusher != nil {
+		flusher.Flush()
+	}
+	writeEnd := func() {
+		status, _, errMsg, done, total := r.snapshot()
+		enc.Encode(streamEvent{Kind: "end", Status: status, Error: errMsg, Done: done, Total: total})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if sub == nil {
+		// The run had already finished: the snapshot was the whole story.
+		writeEnd()
+		return
+	}
+	clientGone := req.Context().Done()
+	for {
+		select {
+		case <-clientGone:
+			return
+		case p, ok := <-sub.ch:
+			if !ok {
+				if r.hub.wasDropped(sub) {
+					// Too slow: the hub already disconnected us. Cut the
+					// response without a terminal line — the client sees
+					// a truncated stream, the run sees nothing at all.
+					return
+				}
+				writeEnd()
+				return
+			}
 			if err := enc.Encode(toStreamEvent(p)); err != nil {
 				return
 			}
-		}
-		if len(batch) > 0 && flusher != nil {
-			flusher.Flush()
-		}
-		if finished && len(batch) == 0 {
-			status, _, errMsg, done, total := r.snapshot()
-			enc.Encode(streamEvent{Kind: "end", Status: status, Error: errMsg, Done: done, Total: total})
 			if flusher != nil {
 				flusher.Flush()
 			}
-			return
 		}
 	}
 }

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+	"repro/pkg/ones"
+)
+
+// hub fans one run's progress events out to any number of stream
+// clients over a single observer subscription. The run's Observe call
+// appends each event to the shared history exactly once and pushes it
+// into every subscriber's bounded buffer — N clients following one run
+// cost one history append plus N non-blocking channel sends per event,
+// instead of the N independent replay loops the pre-hub handler ran.
+//
+// A subscriber that cannot keep up (its buffer is full when the next
+// event arrives) is dropped on the spot: its channel is closed, it is
+// counted in onesd_stream_slow_disconnects_total, and the broadcast
+// moves on — the engine and every other client are never blocked by one
+// slow reader.
+//
+// Lock discipline: hub.mu is a leaf lock — nothing is called while
+// holding it except channel operations, and it is never held together
+// with Server.mu or run.mu.
+type hub struct {
+	bufCap int
+
+	mu      sync.Mutex
+	history []ones.Progress
+	subs    map[*subscriber]struct{}
+	closed  bool
+
+	// Nil-safe obs handles (nil without WithMetrics).
+	events    *obs.Counter // one inc per event, regardless of subscriber count
+	slowDrops *obs.Counter
+	clients   *obs.Gauge
+}
+
+// subscriber is one stream client's bounded mailbox. dropped is guarded
+// by hub.mu and separates "closed because the run finished" (emit the
+// terminal line) from "closed because the client was too slow"
+// (disconnect).
+type subscriber struct {
+	ch      chan ones.Progress
+	dropped bool
+}
+
+// defaultStreamBuffer is the per-client event buffer when Config leaves
+// StreamBuffer zero: deep enough to absorb flushing hiccups, small
+// enough that a wedged client is detected within one burst.
+const defaultStreamBuffer = 256
+
+func newHub(bufCap int, events, slowDrops *obs.Counter, clients *obs.Gauge) *hub {
+	if bufCap <= 0 {
+		bufCap = defaultStreamBuffer
+	}
+	return &hub{
+		bufCap:    bufCap,
+		subs:      make(map[*subscriber]struct{}),
+		events:    events,
+		slowDrops: slowDrops,
+		clients:   clients,
+	}
+}
+
+// broadcast appends one event to the shared history and offers it to
+// every live subscriber without ever blocking: a subscriber whose
+// buffer is full is dropped (channel closed, counted) rather than
+// wedging the hub.
+func (h *hub) broadcast(p ones.Progress) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.history = append(h.history, p)
+	h.events.Inc()
+	for sub := range h.subs {
+		select {
+		case sub.ch <- p:
+		default:
+			sub.dropped = true
+			delete(h.subs, sub)
+			close(sub.ch)
+			h.slowDrops.Inc()
+			h.clients.Dec()
+		}
+	}
+}
+
+// subscribe registers a new client atomically against the history: the
+// returned snapshot holds every event broadcast so far, and the
+// subscriber's channel receives every later one — no gap, no overlap.
+// On a closed (finished) hub the subscriber is nil: the snapshot is the
+// complete history and there is nothing to follow.
+func (h *hub) subscribe() ([]ones.Progress, *subscriber) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	snapshot := h.history[:len(h.history):len(h.history)]
+	if h.closed {
+		return snapshot, nil
+	}
+	sub := &subscriber{ch: make(chan ones.Progress, h.bufCap)}
+	h.subs[sub] = struct{}{}
+	h.clients.Inc()
+	return snapshot, sub
+}
+
+// unsubscribe removes a client (idempotent: a subscriber already dropped
+// or closed out is a no-op).
+func (h *hub) unsubscribe(sub *subscriber) {
+	if sub == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.subs[sub]; ok {
+		delete(h.subs, sub)
+		h.clients.Dec()
+	}
+}
+
+// close ends the broadcast: every live subscriber's channel is closed
+// (they drain their buffers and then see the run's terminal state) and
+// later subscribe calls replay history only. Called after the run's
+// terminal status is recorded, so a client waking on the closed channel
+// always observes finished == true.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for sub := range h.subs {
+		delete(h.subs, sub)
+		close(sub.ch)
+		h.clients.Dec()
+	}
+}
+
+// wasDropped reports whether the subscriber was disconnected for being
+// too slow (as opposed to its channel closing because the run finished).
+func (h *hub) wasDropped(sub *subscriber) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return sub.dropped
+}
+
+// latest returns the most recent event's Done/Total progress (0/0
+// before the first event).
+func (h *hub) latest() (done, total int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if n := len(h.history); n > 0 {
+		return h.history[n-1].Done, h.history[n-1].Total
+	}
+	return 0, 0
+}

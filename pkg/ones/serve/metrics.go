@@ -12,21 +12,21 @@ import (
 // gauge. The endpoint label is the route pattern ("GET /v1/runs/{id}"),
 // so path parameters never explode the series cardinality. Without
 // WithMetrics the handler is returned untouched.
-func (s *Server) instrumented(pattern string, h http.HandlerFunc) http.HandlerFunc {
+func (s *Server) instrumented(pattern string, h http.Handler) http.Handler {
 	if s.metrics == nil {
 		return h
 	}
 	reqs := s.httpReqs
 	lat := s.httpLat.With(pattern)
-	return func(w http.ResponseWriter, req *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		s.httpInFlight.Inc()
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
-		h(rec, req)
+		h.ServeHTTP(rec, req)
 		s.httpInFlight.Dec()
 		lat.Observe(time.Since(start).Seconds())
 		reqs.With(pattern, strconv.Itoa(rec.code)).Inc()
-	}
+	})
 }
 
 // statusRecorder captures the response status code for the request

@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"crypto/subtle"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// middleware wraps a handler with one admission concern. The chain
+// helper composes them outermost-first; a nil middleware (a disabled
+// concern) composes as the identity, so the route table never branches
+// on configuration.
+type middleware func(http.Handler) http.Handler
+
+// chain applies mws to h, first element outermost. Nil entries are
+// skipped.
+func chain(h http.Handler, mws ...middleware) http.Handler {
+	for i := len(mws) - 1; i >= 0; i-- {
+		if mws[i] != nil {
+			h = mws[i](h)
+		}
+	}
+	return h
+}
+
+// authMiddleware enforces bearer-token auth when Config.AuthToken is
+// set: every /v1 request must carry "Authorization: Bearer <token>" or
+// is answered 401 (constant-time comparison; failures counted in
+// onesd_auth_failures_total). The probe endpoints — /healthz, /readyz —
+// and /metrics stay exempt so load balancers and scrapers need no
+// credentials. Nil (identity) when auth is disabled.
+func (s *Server) authMiddleware() middleware {
+	token := s.cfg.AuthToken
+	if token == "" {
+		return nil
+	}
+	want := []byte("Bearer " + token)
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			got := []byte(req.Header.Get("Authorization"))
+			if subtle.ConstantTimeCompare(got, want) != 1 {
+				s.authFails.Inc()
+				w.Header().Set("WWW-Authenticate", `Bearer realm="onesd"`)
+				writeError(w, http.StatusUnauthorized, fmt.Errorf("missing or invalid bearer token"))
+				return
+			}
+			next.ServeHTTP(w, req)
+		})
+	}
+}
+
+// bucket is one endpoint's token bucket: tokens refill continuously at
+// rate per second up to burst; each admitted request spends one.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// take spends one token, reporting success and — on refusal — how long
+// until the next token accrues (the Retry-After hint).
+func (b *bucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		b.tokens = math.Min(b.burst, b.tokens+b.rate*now.Sub(b.last).Seconds())
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+}
+
+// rateLimitMiddleware applies a per-endpoint token bucket when
+// Config.RatePerSec is positive. Each route owns an independent bucket
+// (created here, at registration), so a burst against one endpoint
+// never starves another. Refusals are 429 with an integer Retry-After
+// (seconds, rounded up, at least 1) and counted per endpoint in
+// onesd_rate_limited_total. Nil (identity) when rate limiting is
+// disabled.
+func (s *Server) rateLimitMiddleware(pattern string) middleware {
+	if s.cfg.RatePerSec <= 0 {
+		return nil
+	}
+	burst := float64(s.cfg.RateBurst)
+	if burst < 1 {
+		burst = s.cfg.RatePerSec // default burst: one second's worth, min 1
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	b := &bucket{rate: s.cfg.RatePerSec, burst: burst, tokens: burst}
+	limited := s.rateLimited.With(pattern)
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			// s.now is read at request time so tests can inject a clock
+			// after construction.
+			ok, retry := b.take(s.now())
+			if !ok {
+				limited.Inc()
+				w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retry)))
+				writeError(w, http.StatusTooManyRequests, fmt.Errorf("rate limit exceeded for %s", pattern))
+				return
+			}
+			next.ServeHTTP(w, req)
+		})
+	}
+}
+
+// retryAfterSeconds renders a wait as the integer seconds HTTP wants:
+// rounded up, never below 1 (a 0 would invite an immediate retry).
+func retryAfterSeconds(d time.Duration) int {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// Breaker states. Closed admits; open sheds; half-open admits a single
+// probe after the cooldown to test whether compute has drained.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is the run-creation circuit breaker: it watches the compute
+// backlog (runs currently executing) and sheds new-run load with 503s
+// once the backlog reaches maxBacklog, instead of letting every burst
+// stack goroutines behind a saturated worker pool. After cooldown the
+// breaker goes half-open and the next request probes: if the backlog
+// has drained it closes and admits, otherwise it re-opens and the
+// cooldown restarts.
+type breaker struct {
+	maxBacklog int
+	cooldown   time.Duration
+	now        func() time.Time
+	backlog    func() int
+
+	mu       sync.Mutex
+	state    int
+	openedAt time.Time
+
+	// Nil-safe obs handles.
+	rejected    *obs.Counter
+	transitions *obs.CounterVec
+	stateGauge  *obs.Gauge
+}
+
+// breakerStateName renders a breaker state for the transition counter's
+// label.
+func breakerStateName(state int) string {
+	switch state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// setStateLocked records a state change and its telemetry (gauge value:
+// 0 closed, 1 half-open, 2 open). Caller holds b.mu.
+func (b *breaker) setStateLocked(state int) {
+	if b.state == state {
+		return
+	}
+	b.state = state
+	b.transitions.With(breakerStateName(state)).Inc()
+	switch state {
+	case breakerOpen:
+		b.stateGauge.Set(2)
+	case breakerHalfOpen:
+		b.stateGauge.Set(1)
+	default:
+		b.stateGauge.Set(0)
+	}
+}
+
+// allow decides one admission: true admits the request; false sheds it
+// with the suggested Retry-After.
+func (b *breaker) allow() (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if b.state == breakerOpen {
+		if waited := now.Sub(b.openedAt); waited < b.cooldown {
+			b.rejected.Inc()
+			return false, b.cooldown - waited
+		}
+		b.setStateLocked(breakerHalfOpen)
+	}
+	// Closed or half-open: probe the live backlog.
+	if b.backlog() >= b.maxBacklog {
+		b.setStateLocked(breakerOpen)
+		b.openedAt = now
+		b.rejected.Inc()
+		return false, b.cooldown
+	}
+	if b.state == breakerHalfOpen {
+		b.setStateLocked(breakerClosed) // probe succeeded: compute drained
+	}
+	return true, 0
+}
+
+// breakerMiddleware sheds run creation while compute is backed up
+// (Config.BreakerBacklog in-flight runs): 503 + Retry-After, counted in
+// onesd_breaker_rejected_total. Only POST /v1/runs is wrapped — reads,
+// streams and cancellations must keep working while the daemon sheds
+// new work. Nil (identity) when the breaker is disabled.
+func (s *Server) breakerMiddleware() middleware {
+	if s.breaker == nil {
+		return nil
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			ok, retry := s.breaker.allow()
+			if !ok {
+				w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retry)))
+				writeError(w, http.StatusServiceUnavailable, fmt.Errorf("compute backlog full; retry later"))
+				return
+			}
+			next.ServeHTTP(w, req)
+		})
+	}
+}

@@ -39,6 +39,50 @@ func WithMetrics(m *ones.Metrics) Option {
 	return func(s *Server) { s.metrics = m }
 }
 
+// Config bounds the daemon's state and configures admission control.
+// The zero value disables everything — unbounded run table, no auth, no
+// rate limit, no breaker — which is the pre-hardening behavior; each
+// field opts one protection in independently.
+type Config struct {
+	// MaxRuns caps the run table: when a new run would push it past the
+	// cap, the oldest FINISHED runs are evicted first (evicted runs 404;
+	// in-flight runs are never evicted, so the table can transiently
+	// exceed the cap under a burst of live work — that is what the
+	// breaker is for). 0 ⇒ unbounded.
+	MaxRuns int
+	// RunTTL evicts finished runs this long after they finish. 0 ⇒
+	// finished runs are kept until MaxRuns pressure (or forever).
+	RunTTL time.Duration
+	// StreamBuffer is the per-stream-client event buffer; a client whose
+	// buffer overflows is disconnected rather than wedging the broadcast
+	// hub. 0 ⇒ a 256-event default.
+	StreamBuffer int
+	// AuthToken, when set, requires "Authorization: Bearer <AuthToken>"
+	// on every /v1 endpoint (401 otherwise). /healthz, /readyz and
+	// /metrics stay open for probes and scrapers.
+	AuthToken string
+	// RatePerSec, when positive, applies an independent token-bucket
+	// rate limit of this many requests/second to each /v1 endpoint
+	// (429 + Retry-After beyond it). RateBurst is the bucket depth
+	// (0 ⇒ one second's worth, minimum 1).
+	RatePerSec float64
+	RateBurst  int
+	// BreakerBacklog, when positive, arms the run-creation circuit
+	// breaker: once this many runs are executing concurrently, new POST
+	// /v1/runs are shed with 503 + Retry-After until the backlog drains
+	// and a half-open probe succeeds. BreakerCooldown is the open-state
+	// hold time before that probe (0 ⇒ 5s).
+	BreakerBacklog  int
+	BreakerCooldown time.Duration
+}
+
+// WithConfig installs the bounded-state and admission configuration
+// (see Config). Without it the server behaves exactly as before the
+// hardening pass.
+func WithConfig(cfg Config) Option {
+	return func(s *Server) { s.cfg = cfg }
+}
+
 // RunSpec is the POST /v1/runs request body. Zero fields keep the SDK
 // defaults (scheduler "ones", scenario "steady", the 16×4 Longhorn
 // topology, seed 1). Quick shrinks the workload to smoke-test scale
@@ -137,48 +181,52 @@ const (
 )
 
 // run is one client-submitted simulation: a session executing on its own
-// goroutine, an append-only progress log, and a condition variable that
-// wakes pollers and streamers as events arrive. Subscribers read the log
-// by index (replay + follow), so late subscribers see the full history
-// and the engine never blocks on a slow client.
+// goroutine, with its progress events fanned out to stream clients by a
+// per-run broadcast hub (see hub.go). All clients following the run
+// share the hub's single observer subscription — each event is appended
+// to the shared history once, and the engine never blocks on (or even
+// sees) a slow client.
+//
+// Lock discipline (the order is Server.mu → run.mu, and hub.mu is a
+// leaf): run.mu guards only the terminal-status fields; event history
+// and subscriptions live behind hub.mu. Nothing acquires Server.mu
+// while holding run.mu, and finish sets the terminal status before
+// closing the hub so a subscriber waking on the closed channel always
+// observes finished == true.
 type run struct {
 	ID      string
 	Spec    RunSpec
 	Created time.Time
 	cancel  context.CancelFunc
+	hub     *hub
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	events   []ones.Progress
-	status   string
-	result   *ones.Result
-	errMsg   string
-	finished bool
+	mu         sync.Mutex
+	status     string
+	result     *ones.Result
+	errMsg     string
+	finished   bool
+	finishedAt time.Time // run-table TTL eviction anchor
 }
 
-func newRun(id string, spec RunSpec, cancel context.CancelFunc) *run {
-	r := &run{
+func newRun(id string, spec RunSpec, cancel context.CancelFunc, created time.Time, h *hub) *run {
+	return &run{
 		ID:      id,
 		Spec:    spec,
-		Created: time.Now(),
+		Created: created,
 		cancel:  cancel,
+		hub:     h,
 		status:  StatusRunning,
 	}
-	r.cond = sync.NewCond(&r.mu)
-	return r
 }
 
-// Observe implements ones.Observer: append and wake followers.
-func (r *run) Observe(p ones.Progress) {
-	r.mu.Lock()
-	r.events = append(r.events, p)
-	r.mu.Unlock()
-	r.cond.Broadcast()
-}
+// Observe implements ones.Observer: one append to the shared history,
+// one non-blocking send per subscriber.
+func (r *run) Observe(p ones.Progress) { r.hub.broadcast(p) }
 
-// finish records the terminal state. wasCancelled separates a client
-// cancellation from a genuine failure.
-func (r *run) finish(res *ones.Result, err error, wasCancelled bool) {
+// finish records the terminal state, then closes the hub so every
+// stream client drains its buffer and sees the terminal status.
+// wasCancelled separates a client cancellation from a genuine failure.
+func (r *run) finish(res *ones.Result, err error, wasCancelled bool, at time.Time) {
 	r.mu.Lock()
 	switch {
 	case err == nil:
@@ -192,32 +240,65 @@ func (r *run) finish(res *ones.Result, err error, wasCancelled bool) {
 		r.errMsg = err.Error()
 	}
 	r.finished = true
+	r.finishedAt = at
 	r.mu.Unlock()
-	r.cond.Broadcast()
+	r.hub.close()
 }
 
 // snapshot returns the run's status fields under one lock acquisition.
 func (r *run) snapshot() (status string, res *ones.Result, errMsg string, done, total int) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if n := len(r.events); n > 0 {
-		done, total = r.events[n-1].Done, r.events[n-1].Total
+	status, res, errMsg = r.status, r.result, r.errMsg
+	r.mu.Unlock()
+	done, total = r.hub.latest()
+	return status, res, errMsg, done, total
+}
+
+// expired reports whether the run is finished and its TTL has lapsed.
+// Called with Server.mu held; the brief run.mu acquisition inside
+// respects the Server.mu → run.mu lock order.
+func (r *run) expired(ttl time.Duration, now time.Time) bool {
+	if ttl <= 0 {
+		return false
 	}
-	return r.status, r.result, r.errMsg, done, total
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.finished && now.Sub(r.finishedAt) >= ttl
+}
+
+// isFinished reports whether the run has reached a terminal state.
+func (r *run) isFinished() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.finished
 }
 
 // Server owns the run table, the shared cache and the lifecycle context
 // every run inherits. Shutdown cancels that context (aborting every
 // in-flight simulation mid-cell) and drains the run goroutines.
+//
+// Lock order: Server.mu → run.mu (hub.mu and breaker.mu are leaves,
+// never held together with either). Helpers suffixed *Locked run under
+// Server.mu; oneslint's lockedconv analyzer pins their callers.
 type Server struct {
 	cache   *ones.Cache
 	log     *log.Logger
 	metrics *ones.Metrics
+	cfg     Config
+	now     func() time.Time // injectable for TTL/rate/breaker tests
 
 	// HTTP middleware handles (nil without WithMetrics; all nil-safe).
 	httpReqs     *obs.CounterVec
 	httpLat      *obs.HistogramVec
 	httpInFlight *obs.Gauge
+	evictions    *obs.CounterVec // cache_evictions_total{store,reason}
+	hubEvents    *obs.Counter
+	hubSlowDrops *obs.Counter
+	hubClients   *obs.Gauge
+	authFails    *obs.Counter
+	rateLimited  *obs.CounterVec
+
+	breaker *breaker // nil unless Config.BreakerBacklog > 0
 
 	base context.Context
 	stop context.CancelFunc
@@ -243,6 +324,7 @@ func New(cache *ones.Cache, logger *log.Logger, opts ...Option) *Server {
 	s := &Server{
 		cache: cache,
 		log:   logger,
+		now:   time.Now,
 		base:  base,
 		stop:  stop,
 		runs:  make(map[string]*run),
@@ -258,9 +340,41 @@ func New(cache *ones.Cache, logger *log.Logger, opts ...Option) *Server {
 		s.httpReqs = reg.CounterVec("http_requests_total", "HTTP requests served, by route pattern and status code.", "endpoint", "code")
 		s.httpLat = reg.HistogramVec("http_request_seconds", "HTTP request latency, by route pattern.", nil, "endpoint")
 		s.httpInFlight = reg.Gauge("http_in_flight", "HTTP requests currently being served.")
+		s.evictions = reg.CounterVec("cache_evictions_total", "Entries evicted from the daemon's bounded stores, by store and reason.", "store", "reason")
+		s.hubEvents = reg.Counter("onesd_hub_events_total", "Progress events broadcast by per-run hubs (one per event, however many clients follow).")
+		s.hubSlowDrops = reg.Counter("onesd_stream_slow_disconnects_total", "Stream clients disconnected because their send buffer overflowed.")
+		s.hubClients = reg.Gauge("onesd_stream_clients", "Stream clients currently subscribed across all runs.")
+		s.authFails = reg.Counter("onesd_auth_failures_total", "Requests rejected 401 for a missing or invalid bearer token.")
+		s.rateLimited = reg.CounterVec("onesd_rate_limited_total", "Requests rejected 429 by the per-endpoint token buckets.", "endpoint")
+		reg.GaugeFunc("onesd_run_table_size", "Runs currently held in the run table (all states).",
+			func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(len(s.runs)) })
 		for _, state := range []string{StatusRunning, StatusDone, StatusFailed, StatusCancelled} {
 			reg.GaugeFunc("onesd_runs", "Runs in the run table, by lifecycle state.",
 				func() float64 { return float64(s.countRuns(state)) }, "state", state)
+		}
+	}
+	if s.cfg.BreakerBacklog > 0 {
+		cooldown := s.cfg.BreakerCooldown
+		if cooldown <= 0 {
+			cooldown = 5 * time.Second
+		}
+		var transitions *obs.CounterVec
+		var rejected *obs.Counter
+		var stateGauge *obs.Gauge
+		if s.metrics != nil {
+			reg := s.metrics.Registry()
+			rejected = reg.Counter("onesd_breaker_rejected_total", "Run creations shed 503 by the compute-backlog circuit breaker.")
+			transitions = reg.CounterVec("onesd_breaker_transitions_total", "Circuit-breaker state transitions, by destination state.", "to")
+			stateGauge = reg.Gauge("onesd_breaker_state", "Circuit-breaker state: 0 closed, 1 half-open, 2 open.")
+		}
+		s.breaker = &breaker{
+			maxBacklog:  s.cfg.BreakerBacklog,
+			cooldown:    cooldown,
+			now:         func() time.Time { return s.now() },
+			backlog:     func() int { return s.countRuns(StatusRunning) },
+			rejected:    rejected,
+			transitions: transitions,
+			stateGauge:  stateGauge,
 		}
 	}
 	return s
@@ -289,6 +403,8 @@ func (s *Server) draining() bool {
 func (s *Server) Cache() *ones.Cache { return s.cache }
 
 // start validates the spec, registers a run and launches its goroutine.
+// Registering also sweeps the bounded run table, so a capped daemon
+// evicts old finished runs exactly when new work arrives.
 func (s *Server) start(spec RunSpec) (*run, error) {
 	s.mu.Lock()
 	if s.closed {
@@ -298,7 +414,8 @@ func (s *Server) start(spec RunSpec) (*run, error) {
 	s.seq++
 	id := fmt.Sprintf("run-%06d", s.seq)
 	runCtx, cancel := context.WithCancel(s.base)
-	r := newRun(id, spec, cancel)
+	h := newHub(s.cfg.StreamBuffer, s.hubEvents, s.hubSlowDrops, s.hubClients)
+	r := newRun(id, spec, cancel, s.now(), h)
 	sessOpts := spec.options(r, s.cache)
 	if s.metrics != nil {
 		sessOpts = append(sessOpts, ones.WithMetrics(s.metrics))
@@ -312,6 +429,7 @@ func (s *Server) start(spec RunSpec) (*run, error) {
 	}
 	s.runs[id] = r
 	s.order = append(s.order, id)
+	s.sweepRunsLocked()
 	s.wg.Add(1)
 	s.mu.Unlock()
 
@@ -323,7 +441,7 @@ func (s *Server) start(spec RunSpec) (*run, error) {
 		defer cancel()
 		res, err := sess.Run(traceCtx)
 		endTrace()
-		r.finish(res, err, runCtx.Err() != nil)
+		r.finish(res, err, runCtx.Err() != nil, s.now())
 		if err != nil && runCtx.Err() == nil {
 			s.log.Printf("serve: %s failed: %v", id, err)
 		}
@@ -331,18 +449,67 @@ func (s *Server) start(spec RunSpec) (*run, error) {
 	return r, nil
 }
 
-// get looks up a run by ID.
+// sweepRunsLocked applies the run-table bounds under Server.mu: finished
+// runs past their TTL go first, then — while the table exceeds MaxRuns —
+// the oldest finished runs. In-flight runs are NEVER evicted (cancelling
+// live work to make room would turn a burst into data loss), so the
+// table can transiently exceed the cap while every excess run is still
+// executing; the admission breaker is the backstop for that regime.
+func (s *Server) sweepRunsLocked() {
+	now := s.now()
+	if ttl := s.cfg.RunTTL; ttl > 0 {
+		// Snapshot the ids: dropRunLocked rewrites s.order in place.
+		ids := append([]string(nil), s.order...)
+		for _, id := range ids {
+			if r, ok := s.runs[id]; ok && r.expired(ttl, now) {
+				s.dropRunLocked(id, "ttl")
+			}
+		}
+	}
+	if max := s.cfg.MaxRuns; max > 0 && len(s.runs) > max {
+		ids := append([]string(nil), s.order...)
+		for _, id := range ids { // creation order: oldest finished first
+			if len(s.runs) <= max {
+				break
+			}
+			if r, ok := s.runs[id]; ok && r.isFinished() {
+				s.dropRunLocked(id, "cap")
+			}
+		}
+	}
+}
+
+// dropRunLocked removes one run from the table (Server.mu held) and
+// counts the eviction. Streams already attached keep their run pointer
+// and finish their replay undisturbed; new lookups 404.
+func (s *Server) dropRunLocked(id, reason string) {
+	delete(s.runs, id)
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.evictions.With("runtable", reason).Inc()
+}
+
+// get looks up a run by ID, first sweeping the bounded table so a
+// finished run past its TTL 404s on the read path too — not only when
+// new work happens to arrive.
 func (s *Server) get(id string) (*run, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepRunsLocked()
 	r, ok := s.runs[id]
 	return r, ok
 }
 
-// list returns the runs in creation order.
+// list returns the runs in creation order (sweeping the bounded table
+// first, like get).
 func (s *Server) list() []*run {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepRunsLocked()
 	out := make([]*run, 0, len(s.order))
 	for _, id := range s.order {
 		out = append(out, s.runs[id])

@@ -1,0 +1,433 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/pkg/ones"
+)
+
+// fakeClock is an injectable, manually advanced time source shared by
+// the TTL, rate-limit and breaker tests (assigned to Server.now before
+// the httptest server starts, so no handler races the assignment).
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Now()} }
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+// newHardenedServer builds a metrics-instrumented server under the given
+// hardening Config. mutate (optional) runs before the HTTP listener
+// starts — the hook tests use to inject a fake clock.
+func newHardenedServer(t *testing.T, dir string, cfg Config, mutate func(*Server)) (*Server, *ones.Metrics, *httptest.Server) {
+	t.Helper()
+	cache, err := ones.NewCache(dir, func(string, ...any) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ones.NewMetrics()
+	srv := New(cache, nil, WithMetrics(m), WithConfig(cfg))
+	if mutate != nil {
+		mutate(srv)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	return srv, m, ts
+}
+
+// streamRunTolerant is streamRun for runs that may already have been
+// evicted: a 404 reports found == false instead of failing the test.
+func streamRunTolerant(t *testing.T, base, id string) (found bool, final streamEvent) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/runs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return false, streamEvent{}
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev streamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if ev.Kind == "end" {
+			return true, ev
+		}
+	}
+	t.Fatalf("stream for %s ended without a terminal event: %v", id, sc.Err())
+	return false, streamEvent{}
+}
+
+// TestHubSharedFanout is the tentpole's fan-out acceptance check: 50
+// clients streaming ONE run cost exactly one simulation and one history
+// append per event — onesd_hub_events_total counts events, not
+// events × clients.
+func TestHubSharedFanout(t *testing.T) {
+	srv, m, ts := newHardenedServer(t, "", Config{}, nil)
+	defer func() {
+		srv.Shutdown(context.Background())
+		ts.Close()
+	}()
+	st := createRun(t, ts.URL, quickSpec())
+
+	const clients = 50
+	var wg sync.WaitGroup
+	kinds := make([][]string, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ks, final := streamRun(t, ts.URL, st.ID)
+			if final.Status != StatusDone {
+				t.Errorf("client %d: stream ended %q: %s", i, final.Status, final.Error)
+			}
+			kinds[i] = ks
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < clients; i++ {
+		if fmt.Sprint(kinds[i]) != fmt.Sprint(kinds[0]) {
+			t.Errorf("client %d saw %v, client 0 saw %v", i, kinds[i], kinds[0])
+		}
+	}
+	if cs := srv.Cache().Stats(); cs.Computes != 1 {
+		t.Errorf("50 clients of one run cost %d computes, want 1", cs.Computes)
+	}
+	// kinds includes the synthetic "end" line; everything before it was a
+	// broadcast event, recorded exactly once however many clients follow.
+	events := uint64(len(kinds[0]) - 1)
+	if got := m.Registry().CounterValue("onesd_hub_events_total"); got != events {
+		t.Errorf("onesd_hub_events_total = %d, want %d (one per event, not per client)", got, events)
+	}
+	if got := m.Registry().GaugeValue("onesd_stream_clients"); got != 0 {
+		t.Errorf("onesd_stream_clients = %v after all streams closed, want 0", got)
+	}
+}
+
+// TestDaemonStressHardened hammers a capped daemon with 50 concurrent
+// clients — most create+stream identical quick runs (singleflight: one
+// simulation), some create-and-cancel independent slow runs — under the
+// MaxRuns bound, then checks the table stayed bounded, evicted runs 404
+// on every endpoint, and shutdown leaks no goroutines. Run with -race.
+func TestDaemonStressHardened(t *testing.T) {
+	before := runtime.NumGoroutine()
+	srv, m, ts := newHardenedServer(t, "", Config{MaxRuns: 10}, nil)
+
+	const clients = 50
+	var (
+		wg  sync.WaitGroup
+		idm sync.Mutex
+		ids []string
+	)
+	record := func(id string) {
+		idm.Lock()
+		ids = append(ids, id)
+		idm.Unlock()
+	}
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%10 == 0 {
+				// Canceller: an independent slow run, killed mid-cell.
+				spec := slowSpec()
+				spec.Seed = int64(100 + i)
+				st := createRun(t, ts.URL, spec)
+				record(st.ID)
+				time.Sleep(100 * time.Millisecond)
+				doJSON(t, "DELETE", ts.URL+"/v1/runs/"+st.ID, nil, http.StatusAccepted)
+				return
+			}
+			st := createRun(t, ts.URL, quickSpec())
+			record(st.ID)
+			// The capped table may evict this run the moment it finishes
+			// (cap pressure from 49 siblings): a 404 here is the eviction
+			// contract working, not a failure.
+			if found, final := streamRunTolerant(t, ts.URL, st.ID); found && final.Status != StatusDone {
+				t.Errorf("client %d: stream ended %q: %s", i, final.Status, final.Error)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Drain the cancelled runs to terminal state so the table settles,
+	// tolerating eviction of already-finished ones.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if srv.countRuns(StatusRunning) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cancelled runs never drained")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	if n := len(srv.list()); n > 10 {
+		t.Errorf("run table holds %d runs after the storm, want ≤ MaxRuns=10", n)
+	}
+	if got := m.Registry().CounterValue("cache_evictions_total", "runtable", "cap"); got == 0 {
+		t.Error("no runtable cap evictions counted after 50 runs against MaxRuns=10")
+	}
+	// All 45 identical quick runs shared one simulation.
+	if cs := srv.Cache().Stats(); cs.Computes < 1 || cs.Computes > 1+clients/10 {
+		t.Errorf("cache computes = %d, want 1 shared quick compute (+ at most %d cancelled slow stragglers)", cs.Computes, clients/10)
+	}
+	// Every endpoint 404s an evicted run.
+	live := map[string]bool{}
+	for _, r := range srv.list() {
+		live[r.ID] = true
+	}
+	evicted := ""
+	idm.Lock()
+	for _, id := range ids {
+		if !live[id] {
+			evicted = id
+			break
+		}
+	}
+	idm.Unlock()
+	if evicted == "" {
+		t.Fatal("no evicted run found among 50 creations against MaxRuns=10")
+	}
+	doJSON(t, "GET", ts.URL+"/v1/runs/"+evicted, nil, http.StatusNotFound)
+	doJSON(t, "DELETE", ts.URL+"/v1/runs/"+evicted, nil, http.StatusNotFound)
+	doJSON(t, "GET", ts.URL+"/v1/runs/"+evicted+"/trace", nil, http.StatusNotFound)
+	doJSON(t, "GET", ts.URL+"/v1/runs/"+evicted+"/stream", nil, http.StatusNotFound)
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	leakDeadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before+2 {
+			break
+		}
+		if time.Now().After(leakDeadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked after shutdown: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestRunTableEvictionPreservesInFlight pins the cap-eviction contract:
+// only FINISHED runs are evicted — a run still executing survives any
+// cap pressure — and an evicted run 404s everywhere while attached
+// streams are unaffected.
+func TestRunTableEvictionPreservesInFlight(t *testing.T) {
+	srv, m, ts := newHardenedServer(t, "", Config{MaxRuns: 2}, nil)
+	defer func() {
+		srv.Shutdown(context.Background())
+		ts.Close()
+	}()
+
+	slow := createRun(t, ts.URL, slowSpec()) // stays running throughout
+	var quicks []RunStatus
+	for i := 0; i < 3; i++ {
+		st := createRun(t, ts.URL, quickSpec())
+		waitStatus(t, ts.URL, st.ID, StatusDone, 30*time.Second)
+		quicks = append(quicks, st)
+	}
+
+	// The slow run is over-cap the whole time but never evicted.
+	if got := getRun(t, ts.URL, slow.ID); got.Status != StatusRunning {
+		t.Fatalf("in-flight run = %q, want still running despite cap pressure", got.Status)
+	}
+	// The two oldest finished quick runs were evicted to make room.
+	for _, st := range quicks[:2] {
+		doJSON(t, "GET", ts.URL+"/v1/runs/"+st.ID, nil, http.StatusNotFound)
+		doJSON(t, "GET", ts.URL+"/v1/runs/"+st.ID+"/trace", nil, http.StatusNotFound)
+		doJSON(t, "DELETE", ts.URL+"/v1/runs/"+st.ID, nil, http.StatusNotFound)
+	}
+	if got := getRun(t, ts.URL, quicks[2].ID); got.Status != StatusDone {
+		t.Errorf("newest finished run = %q, want retained", got.Status)
+	}
+	if got := m.Registry().CounterValue("cache_evictions_total", "runtable", "cap"); got != 2 {
+		t.Errorf("runtable cap evictions = %d, want 2", got)
+	}
+
+	doJSON(t, "DELETE", ts.URL+"/v1/runs/"+slow.ID, nil, http.StatusAccepted)
+	waitStatus(t, ts.URL, slow.ID, StatusCancelled, 10*time.Second)
+}
+
+// TestRunTTLEviction drives the finished-run TTL with an injected clock:
+// a done run stays addressable within its TTL and 404s (counted as a
+// runtable/ttl eviction) once the clock passes it.
+func TestRunTTLEviction(t *testing.T) {
+	fc := newFakeClock()
+	srv, m, ts := newHardenedServer(t, "", Config{RunTTL: time.Hour}, func(s *Server) { s.now = fc.now })
+	defer func() {
+		srv.Shutdown(context.Background())
+		ts.Close()
+	}()
+
+	st := createRun(t, ts.URL, quickSpec())
+	waitStatus(t, ts.URL, st.ID, StatusDone, 30*time.Second)
+
+	fc.advance(30 * time.Minute)
+	if got := getRun(t, ts.URL, st.ID); got.Status != StatusDone {
+		t.Fatalf("run %q within TTL, want done and addressable", got.Status)
+	}
+	fc.advance(45 * time.Minute) // 75 min since finish ≥ 1h TTL
+	doJSON(t, "GET", ts.URL+"/v1/runs/"+st.ID, nil, http.StatusNotFound)
+	if got := m.Registry().CounterValue("cache_evictions_total", "runtable", "ttl"); got != 1 {
+		t.Errorf("runtable ttl evictions = %d, want 1", got)
+	}
+}
+
+// TestCancelFinishedRunKeepsResult pins the DELETE-on-finished contract
+// the lock audit established: cancelling a run that already finished is
+// an idempotent 202 that changes nothing — the status stays done, the
+// result stays served, and a concurrent late stream still replays the
+// full history with a done terminal line.
+func TestCancelFinishedRunKeepsResult(t *testing.T) {
+	srv, ts := newTestServer(t, "")
+	defer func() {
+		srv.Shutdown(context.Background())
+		ts.Close()
+	}()
+	st := createRun(t, ts.URL, quickSpec())
+	waitStatus(t, ts.URL, st.ID, StatusDone, 30*time.Second)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				var got RunStatus
+				if err := json.Unmarshal(doJSON(t, "DELETE", ts.URL+"/v1/runs/"+st.ID, nil, http.StatusAccepted), &got); err != nil {
+					t.Error(err)
+					return
+				}
+				if got.Status != StatusDone {
+					t.Errorf("DELETE on a finished run reports %q, want status unchanged (done)", got.Status)
+				}
+			} else {
+				_, final := streamRun(t, ts.URL, st.ID)
+				if final.Status != StatusDone {
+					t.Errorf("stream racing DELETE ended %q, want done", final.Status)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := getRun(t, ts.URL, st.ID); got.Status != StatusDone || got.Result == nil {
+		t.Errorf("after DELETE races: status %q result %v, want done with result", got.Status, got.Result != nil)
+	}
+}
+
+// TestHubDropsSlowSubscriber unit-tests the bounded fan-out: a
+// subscriber that stops draining is disconnected the moment its buffer
+// overflows — counted, channel closed, flagged as dropped — while
+// keeping-up subscribers and the broadcast itself are untouched.
+func TestHubDropsSlowSubscriber(t *testing.T) {
+	reg := obs.NewRegistry()
+	events := reg.Counter("ev", "test")
+	drops := reg.Counter("drops", "test")
+	clients := reg.Gauge("clients", "test")
+	h := newHub(2, events, drops, clients)
+
+	_, fast := h.subscribe()
+	_, slow := h.subscribe()
+	if clients.Value() != 2 {
+		t.Fatalf("clients gauge = %v, want 2", clients.Value())
+	}
+	for i := 0; i < 5; i++ {
+		h.broadcast(ones.Progress{Done: i + 1, Total: 5})
+		<-fast.ch // fast keeps up; slow never reads
+	}
+	if got := events.Value(); got != 5 {
+		t.Errorf("event counter = %d, want 5", got)
+	}
+	if got := drops.Value(); got != 1 {
+		t.Errorf("slow-drop counter = %d, want 1", got)
+	}
+	if !h.wasDropped(slow) {
+		t.Error("slow subscriber not flagged as dropped")
+	}
+	if h.wasDropped(fast) {
+		t.Error("fast subscriber flagged as dropped")
+	}
+	if clients.Value() != 1 {
+		t.Errorf("clients gauge = %v after drop, want 1", clients.Value())
+	}
+	// The slow channel holds its buffered prefix, then closes.
+	for i := 0; i < 2; i++ {
+		if _, ok := <-slow.ch; !ok {
+			t.Fatalf("slow channel closed after %d buffered events, want 2", i)
+		}
+	}
+	if _, ok := <-slow.ch; ok {
+		t.Error("slow channel still open past its buffer")
+	}
+
+	h.close()
+	if _, ok := <-fast.ch; ok {
+		t.Error("fast channel open after hub close")
+	}
+	if clients.Value() != 0 {
+		t.Errorf("clients gauge = %v after close, want 0", clients.Value())
+	}
+	if hist, sub := h.subscribe(); sub != nil || len(hist) != 5 {
+		t.Errorf("subscribe after close = (%d events, sub %v), want full history and nil sub", len(hist), sub)
+	}
+	if done, total := h.latest(); done != 5 || total != 5 {
+		t.Errorf("latest = %d/%d, want 5/5", done, total)
+	}
+}
+
+// TestNeverReadingClientDoesNotWedgeRun attaches a stream client that
+// never reads its response and checks the run (and the rest of the
+// daemon) completes regardless — the hub's bounded buffer plus the
+// kernel's socket buffer absorb or drop it, never block it.
+func TestNeverReadingClientDoesNotWedgeRun(t *testing.T) {
+	srv, _, ts := newHardenedServer(t, "", Config{StreamBuffer: 1}, nil)
+	defer func() {
+		srv.Shutdown(context.Background())
+		ts.Close()
+	}()
+	st := createRun(t, ts.URL, quickSpec())
+	resp, err := http.Get(ts.URL + "/v1/runs/" + st.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() // deliberately never read
+	if got := waitStatus(t, ts.URL, st.ID, StatusDone, 30*time.Second); got.Result == nil {
+		t.Error("run wedged by a non-reading stream client")
+	}
+}
